@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact (see DESIGN.md §4) at a
+reduced-but-representative size, records the headline numbers in
+``benchmark.extra_info`` next to the paper's reference values, and
+asserts the reproduction's shape properties.  Full paper-scale runs:
+``python -m repro.experiments <id>``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale", action="store_true", default=False,
+        help="run benchmarks at full paper-scale IRQ counts",
+    )
+
+
+@pytest.fixture
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")

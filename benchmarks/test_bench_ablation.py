@@ -1,0 +1,59 @@
+"""Benchmarks abl-boost / abl-throttle — related-work ablations.
+
+* abl-boost: a Xen-style boost scheduler matches the monitored
+  mechanism's latency but breaks the Eq. 14 interference budget under
+  bursts (the Section 2 critique motivating the monitor);
+* abl-throttle: source-level throttling (Regehr & Duongsaa) protects
+  against overload but leaves admitted IRQs on the slow delayed path
+  and loses the suppressed ones.
+"""
+
+import pytest
+
+from repro.experiments.ablation import (
+    render_boost_ablation,
+    render_throttle_ablation,
+    run_boost_ablation,
+    run_throttle_ablation,
+)
+
+
+def test_abl_boost(benchmark, paper_scale):
+    result = benchmark.pedantic(
+        run_boost_ablation,
+        kwargs={"irq_count": 1_500 if paper_scale else 500},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_boost_ablation(result))
+    benchmark.extra_info["bound_us"] = result.bound_us
+    benchmark.extra_info["monitored_worst_us"] = (
+        result.monitored_worst_interference_us
+    )
+    benchmark.extra_info["boosted_worst_us"] = (
+        result.boosted_worst_interference_us
+    )
+    assert result.monitored_within_budget
+    assert result.boost_breaks_budget
+    assert (result.boosted_worst_interference_us
+            > 2 * result.monitored_worst_interference_us)
+
+
+def test_abl_throttle(benchmark, paper_scale):
+    result = benchmark.pedantic(
+        run_throttle_ablation,
+        kwargs={"irq_count": 1_500 if paper_scale else 450},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_throttle_ablation(result))
+    benchmark.extra_info["suppressed"] = result.suppressed_irqs
+    benchmark.extra_info["throttled_avg_us"] = round(
+        result.throttled.avg_latency_us, 1
+    )
+    benchmark.extra_info["monitored_avg_us"] = round(
+        result.monitored.avg_latency_us, 1
+    )
+    assert result.suppressed_irqs > 0                      # IRQs lost
+    assert len(result.monitored.records) > len(result.throttled.records)
+    assert result.throttling_keeps_tdma_latency

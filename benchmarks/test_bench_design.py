@@ -1,0 +1,59 @@
+"""Benchmarks design / abl-depth — extension experiments.
+
+* **design** — the integrator workflow the paper enables: analytically
+  derive the minimum admissible d_min for a certified victim task set
+  (Eq. 8 + Eq. 14 busy-window analysis), then confirm by simulation
+  that no deadline is missed at exactly that condition.
+* **abl-depth** — why the RTSS'12 monitor supports l > 1 tables: at a
+  matched long-run admitted rate, the deep learned δ⁻[5] table
+  tolerates the automotive trace's bursts that a single-d_min
+  condition must deny, giving a lower average latency.
+"""
+
+import pytest
+
+from repro.experiments.ablation import (
+    render_depth_ablation,
+    run_depth_ablation,
+)
+from repro.experiments.design import render_design, run_design
+
+
+def test_design(benchmark, paper_scale):
+    result = benchmark.pedantic(
+        run_design,
+        kwargs={"irq_count": 600 if paper_scale else 300},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_design(result))
+    benchmark.extra_info["min_dmin_us"] = result.analytic_min_dmin_us
+    benchmark.extra_info["misses_at_min"] = result.simulated_misses_at_min
+    benchmark.extra_info["max_response_us"] = round(
+        result.simulated_max_response_us, 1
+    )
+    benchmark.extra_info["response_bound_us"] = round(
+        result.analytic_response_bound_us, 1
+    )
+    assert result.analytic_schedulable_at_min
+    assert result.simulated_misses_at_min == 0
+    assert result.simulation_confirms_analysis
+    assert result.windows_opened > 0
+
+
+def test_abl_depth(benchmark, paper_scale):
+    result = benchmark.pedantic(
+        run_depth_ablation,
+        kwargs={"activation_count": 3_000 if paper_scale else 1_500},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_depth_ablation(result))
+    benchmark.extra_info["deep_avg_us"] = round(result.deep.avg_latency_us, 1)
+    benchmark.extra_info["shallow_avg_us"] = round(
+        result.shallow.avg_latency_us, 1
+    )
+    assert result.deep_monitor_wins
+    # the shallow monitor pushes burst IRQs back to delayed handling
+    assert (result.shallow.mode_counts.get("delayed", 0)
+            > result.deep.mode_counts.get("delayed", 0))

@@ -1,0 +1,77 @@
+"""Benchmark fig6 — regenerates the Fig. 6a/6b/6c latency histograms.
+
+Paper reference (Section 6.1, 15000 IRQs, loads 1/5/10 %):
+
+* 6a (monitoring disabled):  avg ~2500 us, ~40 % direct / ~60 % delayed
+* 6b (monitoring enabled):   avg ~1200 us, ~40/40/20
+* 6c (no d_min violations):  avg ~150 us (~16x better), no delayed IRQs,
+  worst case no longer defined by the TDMA cycle length
+"""
+
+import pytest
+
+from repro.experiments.fig6 import (
+    Fig6Config,
+    PAPER_REFERENCE,
+    render_fig6,
+    run_fig6,
+)
+
+
+def _config(paper_scale: bool) -> Fig6Config:
+    return Fig6Config(irqs_per_load=5_000 if paper_scale else 1_000)
+
+
+def _record(benchmark, result):
+    reference = PAPER_REFERENCE[result.scenario]
+    benchmark.extra_info["avg_latency_us"] = round(result.avg_latency_us, 1)
+    benchmark.extra_info["paper_avg_latency_us"] = reference["avg_us"]
+    benchmark.extra_info["max_latency_us"] = round(result.max_latency_us, 1)
+    benchmark.extra_info["mode_fractions"] = {
+        mode: round(fraction, 3)
+        for mode, fraction in result.mode_fractions().items()
+    }
+    benchmark.extra_info["irqs"] = len(result.latencies_us)
+    print()
+    print(render_fig6(result))
+
+
+def test_fig6a(benchmark, paper_scale):
+    config = _config(paper_scale)
+    result = benchmark.pedantic(run_fig6, args=("a", config),
+                                rounds=1, iterations=1)
+    _record(benchmark, result)
+    fractions = result.mode_fractions()
+    assert fractions.get("interposed", 0) == 0
+    assert 0.3 < fractions["direct"] < 0.55
+    assert 1_800 < result.avg_latency_us < 3_200      # paper ~2500
+    assert 7_000 < result.max_latency_us < 8_500      # T_TDMA - T_i bound
+
+
+def test_fig6b(benchmark, paper_scale):
+    config = _config(paper_scale)
+    result = benchmark.pedantic(run_fig6, args=("b", config),
+                                rounds=1, iterations=1)
+    _record(benchmark, result)
+    baseline = run_fig6("a", config)
+    fractions = result.mode_fractions()
+    assert fractions.get("interposed", 0) > 0.15
+    assert fractions.get("delayed", 0) > 0.05
+    # a significant average improvement, but the same worst case:
+    assert result.avg_latency_us < 0.65 * baseline.avg_latency_us
+    assert result.max_latency_us > 0.8 * baseline.max_latency_us
+
+
+def test_fig6c(benchmark, paper_scale):
+    config = _config(paper_scale)
+    result = benchmark.pedantic(run_fig6, args=("c", config),
+                                rounds=1, iterations=1)
+    _record(benchmark, result)
+    baseline = run_fig6("a", config)
+    improvement = baseline.avg_latency_us / result.avg_latency_us
+    benchmark.extra_info["improvement_over_fig6a"] = round(improvement, 1)
+    benchmark.extra_info["paper_improvement"] = 16.0
+    fractions = result.mode_fractions()
+    assert fractions.get("delayed", 0) == 0            # paper: none delayed
+    assert improvement > 8                             # paper: ~16x
+    assert result.max_latency_us < 1_000               # TDMA-decoupled

@@ -1,0 +1,46 @@
+"""Benchmark fig7 — regenerates the Appendix-A self-learning curves.
+
+Paper reference (Fig. 7, automotive trace, ~11000 activations, δ⁻[5]
+learned on the first 10 %):
+
+* learn phase:   avg ~2200 us (only direct/delayed active)
+* run mode (a):  bound non-binding        -> avg ~120 us
+* run mode (b):  25 % of recorded load    -> avg ~300 us
+* run mode (c):  12.5 %                   -> avg ~900 us
+* run mode (d):  6.25 %                   -> avg ~1600 us
+"""
+
+import pytest
+
+from repro.experiments.fig7 import (
+    Fig7Config,
+    PAPER_REFERENCE,
+    render_fig7,
+    run_fig7,
+)
+from repro.workloads.automotive import AutomotiveTraceConfig
+
+
+def test_fig7(benchmark, paper_scale):
+    config = Fig7Config(trace=AutomotiveTraceConfig(
+        activation_count=11_000 if paper_scale else 3_000
+    ))
+    results = benchmark.pedantic(run_fig7, args=(config,),
+                                 rounds=1, iterations=1)
+    print()
+    print(render_fig7(results))
+    for label, result in results.items():
+        benchmark.extra_info[f"run_avg_us_{label}"] = round(result.run_avg_us, 1)
+        benchmark.extra_info[f"paper_run_avg_us_{label}"] = PAPER_REFERENCE[label]
+    benchmark.extra_info["learn_avg_us"] = round(results["a"].learn_avg_us, 1)
+
+    # learning phase sits at the unmonitored level
+    assert results["a"].learn_avg_us > 1_500
+    # strict ordering of the four bound cases
+    assert (results["a"].run_avg_us < results["b"].run_avg_us
+            < results["c"].run_avg_us < results["d"].run_avg_us)
+    # entering run mode in case (a) drops the average by >10x
+    assert results["a"].run_avg_us < results["a"].learn_avg_us / 10
+    # tight bounds push IRQs back to delayed handling
+    assert (results["d"].scenario.mode_counts.get("delayed", 0)
+            > results["a"].scenario.mode_counts.get("delayed", 0))

@@ -1,0 +1,48 @@
+"""Benchmark tab62 — regenerates the Section 6.2 overhead numbers.
+
+Paper reference:
+
+* code: 1120 bytes total (scheduler 392, top handler 456, monitor 272);
+  data: 28 bytes (monitor state);
+* runtime: C_Mon = 128 instr, C_sched = 877 instr, C_ctx ~ 10000 cycles
+  (invalidation + writebacks);
+* ~10 % increase in context switches in the d_min-adherent scenario
+  (the measured increase depends strongly on the interrupt load; we
+  report per-load values).
+"""
+
+import pytest
+
+from repro.experiments.overhead import render_overhead, run_overhead
+
+
+def test_tab62(benchmark, paper_scale):
+    result = benchmark.pedantic(
+        run_overhead,
+        kwargs={"irqs_per_load": 2_000 if paper_scale else 500},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_overhead(result))
+
+    benchmark.extra_info["paper_code_bytes"] = result.paper_code_bytes
+    benchmark.extra_info["monitor_cycles"] = result.monitor_cycles
+    benchmark.extra_info["scheduler_cycles"] = result.scheduler_cycles
+    benchmark.extra_info["context_switch_cycles"] = result.context_switch_cycles
+    benchmark.extra_info["ctx_increase_by_load"] = {
+        f"{100 * c.load:.0f}%": round(c.increase, 3)
+        for c in result.context_switch_comparisons
+    }
+
+    # static accounting reproduces the paper exactly
+    assert result.paper_code_bytes == 1120
+    assert result.paper_data_bytes == 28
+    assert result.modelled_monitor_data_bytes == 28
+    assert result.monitor_cycles == 128
+    assert result.scheduler_cycles == 877
+    assert result.context_switch_cycles == 10_000
+    # monitoring adds context switches (2 per interposed window);
+    # the increase grows with the interrupt load
+    increases = [c.increase for c in result.context_switch_comparisons]
+    assert all(value > 0 for value in increases)
+    assert increases == sorted(increases)

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the simulation substrate.
+
+Not a paper artifact — these track the cost of the building blocks so
+regressions in simulator throughput (which gate how fast the paper
+experiments run) are visible.
+"""
+
+import pytest
+
+from repro.analysis.event_models import PeriodicEventModel
+from repro.analysis.latency import classic_irq_latency
+from repro.core.monitor import DeltaMinusMonitor
+from repro.core.policy import MonitoredInterposing
+from repro.hypervisor.config import CostModel
+from repro.sim.engine import SimulationEngine
+
+US = 200
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule+fire cost of the event core."""
+
+    def run_events():
+        engine = SimulationEngine()
+        for i in range(5_000):
+            engine.schedule(i, lambda: None)
+        engine.run()
+        return engine.events_executed
+
+    assert benchmark(run_events) == 5_000
+
+
+def test_monitor_check_cost(benchmark):
+    """Per-IRQ cost of the l=5 monitoring condition."""
+    monitor = DeltaMinusMonitor([100, 300, 700, 1_500, 3_100])
+
+    def run_checks():
+        monitor.reset()
+        time = 0
+        for _ in range(5_000):
+            time += 137
+            monitor.check_and_accept(time)
+        return monitor.accepted_count + monitor.denied_count
+
+    assert benchmark(run_checks) == 5_000
+
+
+def test_busy_window_analysis_cost(benchmark):
+    """Full Eq. 11/12 analysis of the paper system."""
+    model = PeriodicEventModel(1_444 * US)
+    costs = CostModel()
+
+    def analyse():
+        return classic_irq_latency(model, 2 * US, 40 * US,
+                                   14_000 * US, 6_000 * US, costs=costs)
+
+    bound = benchmark(analyse)
+    assert bound.response_time_cycles > 0
+
+
+def test_end_to_end_irq_throughput(benchmark):
+    """Simulated IRQs per benchmark round through the full hypervisor
+    path (top handler, monitor, interposed window, accounting)."""
+    from repro.experiments.common import PaperSystemConfig, run_irq_scenario
+    from repro.workloads.synthetic import exponential_interarrivals
+
+    system = PaperSystemConfig()
+    intervals = exponential_interarrivals(400, 288_800, seed=5)
+
+    def run_scenario():
+        policy = MonitoredInterposing(DeltaMinusMonitor.from_dmin(288_800))
+        return run_irq_scenario(system, policy, intervals)
+
+    result = benchmark(run_scenario)
+    assert len(result.records) == 400

@@ -1,0 +1,59 @@
+"""Benchmark abl-sweep — design-space sweeps.
+
+* TDMA cycle sweep: the classic worst-case latency scales linearly
+  with the cycle length while the interposed worst case is flat
+  (observation 2 of Section 5.1) — the structural argument of the
+  whole paper;
+* d_min sweep: the latency/interference-budget trade-off a system
+  integrator tunes (Eq. 2 vs average latency).
+"""
+
+import pytest
+
+from repro.experiments.sweep import (
+    render_cycle_sweep,
+    render_dmin_sweep,
+    run_cycle_sweep,
+    run_dmin_sweep,
+)
+
+
+def test_abl_sweep_cycle(benchmark, paper_scale):
+    points = benchmark.pedantic(
+        run_cycle_sweep,
+        kwargs={"irq_count": 1_000 if paper_scale else 300},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_cycle_sweep(points))
+    benchmark.extra_info["classic_max_by_scale"] = {
+        f"{p.scale:g}x": round(p.classic_measured_max_us, 1) for p in points
+    }
+    benchmark.extra_info["interposed_max_by_scale"] = {
+        f"{p.scale:g}x": round(p.interposed_measured_max_us, 1) for p in points
+    }
+    classic = [p.classic_measured_max_us for p in points]
+    interposed = [p.interposed_measured_max_us for p in points]
+    assert classic == sorted(classic)
+    assert classic[-1] > 4 * classic[0]
+    assert max(interposed) - min(interposed) < 50
+    for point in points:
+        assert point.classic_measured_max_us <= point.classic_bound_us
+        assert point.interposed_measured_max_us <= point.interposed_bound_us
+
+
+def test_abl_sweep_dmin(benchmark, paper_scale):
+    points = benchmark.pedantic(
+        run_dmin_sweep,
+        kwargs={"irq_count": 1_000 if paper_scale else 300},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_dmin_sweep(points))
+    benchmark.extra_info["avg_latency_by_dmin"] = {
+        f"{p.dmin_us:.0f}us": round(p.avg_latency_us, 1) for p in points
+    }
+    latencies = [p.avg_latency_us for p in points]
+    budgets = [p.interference_budget_fraction for p in points]
+    assert latencies == sorted(latencies)
+    assert budgets == sorted(budgets, reverse=True)

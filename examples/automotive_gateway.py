@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Automotive gateway scenario — the Appendix-A flow end to end.
+
+A virtualized automotive gateway ECU:
+
+* GW — gateway partition receiving CAN-triggered IRQs (the Appendix-A
+  activation trace), forwarding payloads over hypervisor IPC;
+* APP — application partition consuming the forwarded messages;
+* DIAG — diagnostics partition (housekeeping).
+
+The gateway IRQ source runs the *self-learning* δ⁻ monitor
+(Algorithms 1 and 2): the first 10 % of the trace trains the table
+(classic delayed handling, high latency), then run mode interposes
+conformant IRQs.  A load bound limits the admitted interposing load to
+25 % of what the recorded trace requested, as in Fig. 7 case (b).
+
+Run:  python examples/automotive_gateway.py
+"""
+
+from repro.core.policy import LearningPhase, SelfLearningInterposing
+from repro.hypervisor.config import HypervisorConfig, SlotConfig
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.ipc import IpcRouter
+from repro.hypervisor.irq import IrqSource
+from repro.hypervisor.partition import Partition
+from repro.metrics.stats import summarize
+from repro.sim.clock import Clock
+from repro.sim.timers import IntervalSequenceTimer
+from repro.workloads.automotive import (
+    AutomotiveTraceConfig,
+    generate_automotive_trace,
+)
+
+CLOCK = Clock()
+US = CLOCK.us_to_cycles
+
+
+def main() -> None:
+    trace = generate_automotive_trace(
+        AutomotiveTraceConfig(activation_count=4_000), CLOCK
+    )
+    intervals = trace.distance_array()
+    learn_count = round(len(intervals) * 0.10)
+
+    slots = [SlotConfig("GW", US(6_000)), SlotConfig("APP", US(6_000)),
+             SlotConfig("DIAG", US(2_000))]
+    hv = Hypervisor(slots, HypervisorConfig(trace_enabled=False))
+    gw = hv.add_partition(Partition("GW"))
+    app = hv.add_partition(Partition("APP"))
+    hv.add_partition(Partition("DIAG"))
+
+    router = IpcRouter()
+    hv.attach_ipc_router(router)
+    channel = router.create_channel("frames", sender="GW", receiver="APP",
+                                    capacity=256)
+
+    policy = SelfLearningInterposing(depth=5, learn_count=learn_count,
+                                     load_fraction=0.25)
+    can = IrqSource(name="can_rx", line=3, subscriber="GW",
+                    top_handler_cycles=US(2), bottom_handler_cycles=US(40),
+                    policy=policy)
+    hv.add_irq_source(can)
+
+    timer = IntervalSequenceTimer(hv.engine, hv.intc, 3, intervals)
+
+    def on_can_frame(event):
+        timer.arm_next()
+        # The gateway's bottom handler will forward the frame; model the
+        # payload hand-off through hypervisor IPC at top-handler time.
+        if len(channel.in_transit) < channel.capacity:
+            channel.send({"frame": event.seq}, hv.engine.now)
+
+    can.on_top_handler = on_can_frame
+    hv.start()
+    timer.arm_next()
+    hv.run_until_irq_count(len(intervals), limit_cycles=CLOCK.s_to_cycles(600))
+
+    latencies = hv.latencies_us()
+    learn = latencies[:learn_count]
+    run = latencies[learn_count:]
+
+    print(f"CAN trace: {len(intervals)} activations, "
+          f"min gap {CLOCK.cycles_to_us(trace.min_distance()):.0f} us, "
+          f"mean gap {CLOCK.cycles_to_us(trace.mean_distance()):.0f} us")
+    print(f"Learning phase ({learn_count} IRQs): "
+          f"avg latency {summarize(learn).mean:.0f} us "
+          "(delayed/direct handling only)")
+    learned_us = [round(CLOCK.cycles_to_us(v)) for v in policy.learned_table]
+    bounded_us = [round(CLOCK.cycles_to_us(v)) for v in policy.monitor.table]
+    print(f"Learned δ⁻[5] (us):          {learned_us}")
+    print(f"Bounded to 25% load (us):    {bounded_us}")
+    assert policy.phase is LearningPhase.RUN
+    print(f"Run mode ({len(run)} IRQs):  avg latency {summarize(run).mean:.0f} us, "
+          f"{hv.stats.windows_opened} interposed windows")
+    modes = hv.mode_counts()
+    print("Handling modes: "
+          + ", ".join(f"{mode.value}={count}" for mode, count in modes.items()
+                      if count))
+
+    delivered = len(channel.delivered)
+    ipc_latencies = [CLOCK.cycles_to_us(m.latency) for m in channel.delivered]
+    print(f"IPC frames delivered to APP: {delivered} "
+          f"(avg delivery latency {sum(ipc_latencies) / delivered:.0f} us — "
+          "messages cross the isolation barrier at slot boundaries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Integrated Modular Avionics (ARINC 653-style) scenario.
+
+The paper motivates sufficient temporal independence with
+safety-critical standards (IEC 61508, ARINC 653 IMA).  This example
+builds a four-partition IMA system:
+
+* FCTL — flight control: hard-real-time guest tasks, the *victim*
+  whose temporal behaviour must stay independent;
+* DISP — display manager, subscribed to a sensor IRQ whose bottom
+  handlers may interpose into other partitions' slots;
+* MAINT — maintenance/datalink partition;
+* IO — I/O server partition (housekeeping).
+
+It demonstrates the paper's core trade:
+
+1. with classic delayed handling, the sensor IRQ latency is dominated
+   by the TDMA cycle;
+2. with monitored interposing, the latency collapses — and the flight
+   control tasks still meet every deadline, because the interference
+   injected into their slots is bounded by Eq. 14 and fits their slack;
+3. the measured interference is checked against the analytical bound.
+
+Run:  python examples/avionics_ima.py
+"""
+
+from repro.analysis.interference import interference_budget_fraction
+from repro.core.independence import (
+    DminInterferenceBound,
+    InterferenceKind,
+    verify_sufficient_independence,
+)
+from repro.core.monitor import DeltaMinusMonitor
+from repro.core.policy import MonitoredInterposing, NeverInterpose
+from repro.guestos.kernel import GuestKernel
+from repro.guestos.tasks import GuestTask
+from repro.hypervisor.config import HypervisorConfig, SlotConfig
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.irq import IrqSource
+from repro.hypervisor.partition import Partition
+from repro.metrics.report import render_table
+from repro.metrics.stats import summarize
+from repro.sim.clock import Clock
+from repro.sim.timers import IntervalSequenceTimer
+from repro.workloads.synthetic import clip_to_dmin, exponential_interarrivals
+
+CLOCK = Clock()
+US = CLOCK.us_to_cycles
+
+SENSOR_DMIN_US = 2_000
+SENSOR_C_BH_US = 50
+
+
+def build_flight_control_kernel() -> GuestKernel:
+    kernel = GuestKernel("fctl-os")
+    kernel.add_task(GuestTask("attitude_loop", priority=1,
+                              wcet_cycles=US(600),
+                              period_cycles=US(16_000)))
+    kernel.add_task(GuestTask("guidance", priority=3,
+                              wcet_cycles=US(1_200),
+                              period_cycles=US(32_000)))
+    kernel.add_task(GuestTask("telemetry", priority=7,
+                              wcet_cycles=US(900),
+                              period_cycles=US(64_000)))
+    return kernel
+
+
+def build_system(policy):
+    slots = [
+        SlotConfig("FCTL", US(4_000)),
+        SlotConfig("DISP", US(4_000)),
+        SlotConfig("MAINT", US(6_000)),
+        SlotConfig("IO", US(2_000)),
+    ]
+    hv = Hypervisor(slots, HypervisorConfig(trace_enabled=False))
+    hv.add_partition(Partition("FCTL", guest=build_flight_control_kernel(),
+                               busy_background=False))
+    for name in ("DISP", "MAINT", "IO"):
+        hv.add_partition(Partition(name))
+    sensor = IrqSource(
+        name="adc_sensor", line=4, subscriber="DISP",
+        top_handler_cycles=US(3),
+        bottom_handler_cycles=US(SENSOR_C_BH_US),
+        policy=policy,
+    )
+    hv.add_irq_source(sensor)
+    arrivals = clip_to_dmin(
+        exponential_interarrivals(800, US(SENSOR_DMIN_US), seed=42),
+        US(SENSOR_DMIN_US),
+    )
+    timer = IntervalSequenceTimer(hv.engine, hv.intc, 4, arrivals)
+    sensor.on_top_handler = lambda event: timer.arm_next()
+    hv.start()
+    timer.arm_next()
+    hv.run_until_irq_count(len(arrivals),
+                           limit_cycles=CLOCK.s_to_cycles(30))
+    return hv
+
+
+def report(hv, label):
+    latencies = hv.latencies_us()
+    kernel = hv.partition("FCTL").guest
+    return [
+        label,
+        f"{summarize(latencies).mean:.0f}",
+        f"{summarize(latencies).maximum:.0f}",
+        kernel.total_deadline_misses(),
+        f"{CLOCK.cycles_to_us(kernel.stats('attitude_loop').max_response):.0f}",
+    ]
+
+
+def main() -> None:
+    print("IMA system: FCTL(4ms) | DISP(4ms) | MAINT(6ms) | IO(2ms), "
+          "T_TDMA = 16 ms")
+    budget = interference_budget_fraction(US(SENSOR_DMIN_US),
+                                          US(SENSOR_C_BH_US))
+    print(f"Sensor IRQ: d_min = {SENSOR_DMIN_US} us, C_BH = "
+          f"{SENSOR_C_BH_US} us -> interference budget "
+          f"{100 * budget:.1f}% of any partition's time (Eq. 14)")
+    print()
+
+    classic = build_system(NeverInterpose())
+    monitored = build_system(MonitoredInterposing(
+        DeltaMinusMonitor.from_dmin(US(SENSOR_DMIN_US))
+    ))
+
+    print(render_table(
+        ["scheme", "sensor avg (us)", "sensor max (us)",
+         "FCTL deadline misses", "attitude max resp (us)"],
+        [report(classic, "delayed (classic TDMA)"),
+         report(monitored, "monitored interposing")],
+    ))
+    print()
+
+    bound = DminInterferenceBound(
+        US(SENSOR_DMIN_US),
+        monitored.config.costs.effective_bottom_handler_cycles(
+            US(SENSOR_C_BH_US)),
+    )
+    widths = [US(w) for w in (1_000, 4_000, 16_000, 64_000)]
+    verdict = verify_sufficient_independence(
+        monitored.ledger, "FCTL", bound.max_interference, widths,
+        kinds=(InterferenceKind.INTERPOSED_BH,),
+    )
+    print(f"Sufficient temporal independence of FCTL (Eq. 14): "
+          f"holds = {verdict.holds}, worst measured/bound ratio = "
+          f"{verdict.worst_ratio():.3f}")
+    print("-> the display partition's interrupt latency improved by "
+          f"{summarize(classic.latencies_us()).mean / summarize(monitored.latencies_us()).mean:.1f}x "
+          "without perturbing the flight-control partition beyond its "
+          "certified interference budget.")
+
+
+if __name__ == "__main__":
+    main()

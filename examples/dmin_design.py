@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Choosing d_min for a certified system — the integrator workflow.
+
+Given a victim partition's guest task set (WCETs, periods, priorities)
+and an IRQ source's declared C_BH, the question a system integrator
+must answer before enabling interposing is:
+
+    What is the smallest d_min (i.e. the best interrupt latency for
+    the source) that provably keeps every victim deadline?
+
+This example answers it analytically — a busy-window analysis
+combining TDMA service (Eq. 8), same-partition preemption, and the
+Eq. 14 interposing interference — and then validates the answer by
+simulating the worst admitted activation pattern (IRQs arriving
+exactly every d_min).
+
+Run:  python examples/dmin_design.py
+"""
+
+from repro.analysis.interference import interference_budget_fraction
+from repro.analysis.schedulability import (
+    InterposingLoad,
+    TaskSpec,
+    min_admissible_dmin,
+    partition_schedulable,
+)
+from repro.experiments.design import render_design, run_design
+from repro.hypervisor.config import CostModel
+from repro.metrics.report import render_table
+from repro.sim.clock import Clock
+
+CLOCK = Clock()
+US = CLOCK.us_to_cycles
+
+
+def main() -> None:
+    costs = CostModel()
+    tasks = [
+        TaskSpec("control", priority=1, wcet=US(400), period=US(8_000)),
+        TaskSpec("monitoring", priority=3, wcet=US(600), period=US(16_000)),
+        TaskSpec("logging", priority=6, wcet=US(1_000), period=US(32_000)),
+    ]
+    cycle, slot = US(4_000), US(2_000)
+    c_bh = US(40)
+
+    print("Victim partition (2 ms slot in a 4 ms TDMA cycle):")
+    rows = []
+    for task in tasks:
+        rows.append([task.name, task.priority,
+                     f"{CLOCK.cycles_to_us(task.wcet):.0f}",
+                     f"{CLOCK.cycles_to_us(task.period):.0f}"])
+    print(render_table(["task", "priority", "WCET (us)", "period (us)"],
+                       rows))
+    print()
+
+    print("Schedulability vs monitoring condition (C_BH = 40 us):")
+    rows = []
+    for dmin_us in (200, 380, 1_000, 5_000):
+        dmin = US(dmin_us)
+        report = partition_schedulable(
+            tasks, cycle, slot, [InterposingLoad(dmin, c_bh)], costs
+        )
+        budget = interference_budget_fraction(dmin, c_bh, costs)
+        responses = [v.response_time for v in report.verdicts]
+        if any(r is None for r in responses):
+            worst = "diverges"
+        else:
+            worst = f"{CLOCK.cycles_to_us(max(responses)):.0f}"
+        rows.append([
+            f"{dmin_us}",
+            f"{100 * budget:.1f}%",
+            worst,
+            "yes" if report.schedulable else "NO",
+        ])
+    print(render_table(
+        ["d_min (us)", "interference budget", "worst response (us)",
+         "schedulable"],
+        rows,
+    ))
+    print()
+
+    dmin = min_admissible_dmin(tasks, cycle, slot, c_bh, costs)
+    print(f"Binary search result: minimum admissible d_min = "
+          f"{CLOCK.cycles_to_us(dmin):.1f} us (the 380 us row above sits "
+          "just below this knife edge: one more Eq. 14 quantum fits the "
+          "logging task's busy window and pushes it past its deadline)")
+    print()
+    print("Simulation check at exactly that condition:")
+    print(render_design(run_design(irq_count=400)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's mechanism in ~60 lines.
+
+Builds the evaluation system of Section 6.1 — two application
+partitions and a housekeeping partition under TDMA, one interrupt
+source subscribed by partition P1 — and compares the three handling
+schemes of Fig. 6:
+
+* monitoring disabled (classic delayed handling),
+* monitored interposing with d_min = λ,
+* monitored interposing with all interarrivals >= d_min.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.monitor import DeltaMinusMonitor
+from repro.core.policy import MonitoredInterposing, NeverInterpose
+from repro.experiments.common import PaperSystemConfig, run_irq_scenario
+from repro.metrics.report import render_mode_breakdown, render_table
+from repro.workloads.synthetic import (
+    clip_to_dmin,
+    exponential_interarrivals,
+    lambda_for_load,
+)
+
+
+def main() -> None:
+    system = PaperSystemConfig()          # ARM926ej-s @ 200 MHz, 6/6/2 ms slots
+    clock = system.clock()
+
+    # Target 10 % long-term bottom-handler load: λ = C'_BH / U (Eq. 17).
+    c_bh = clock.us_to_cycles(system.bottom_handler_us)
+    lam = lambda_for_load(c_bh, 0.10, system.costs)
+    arrivals = exponential_interarrivals(3_000, lam, seed=1)
+    adherent = clip_to_dmin(arrivals, lam)
+
+    scenarios = [
+        ("monitoring disabled", NeverInterpose(), arrivals),
+        ("monitored, d_min = λ",
+         MonitoredInterposing(DeltaMinusMonitor.from_dmin(lam)), arrivals),
+        ("monitored, no violations",
+         MonitoredInterposing(DeltaMinusMonitor.from_dmin(lam)), adherent),
+    ]
+
+    rows = []
+    baseline_avg = None
+    for name, policy, intervals in scenarios:
+        result = run_irq_scenario(system, policy, intervals)
+        if baseline_avg is None:
+            baseline_avg = result.avg_latency_us
+        rows.append([
+            name,
+            f"{result.avg_latency_us:.0f}",
+            f"{result.max_latency_us:.0f}",
+            f"{baseline_avg / result.avg_latency_us:.1f}x",
+            render_mode_breakdown(result.mode_counts),
+        ])
+
+    print(render_table(
+        ["scenario", "avg latency (us)", "max (us)", "improvement", "modes"],
+        rows,
+        title=f"IRQ latency with T_TDMA = {system.tdma_cycle_us:.0f} us, "
+              f"d_min = λ = {clock.cycles_to_us(lam):.0f} us",
+    ))
+    print()
+    print("The paper reports ~2500 / ~1200 / ~150 us for these three "
+          "scenarios — a ~16x average improvement with zero delayed IRQs "
+          "once all interrupts adhere to d_min.")
+
+
+if __name__ == "__main__":
+    main()

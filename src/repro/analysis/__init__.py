@@ -1,0 +1,86 @@
+"""Formal worst-case analyses from Sections 4 and 5.1 of the paper.
+
+Arrival curves / minimum-distance functions, the busy-window fixed
+point (Eqs. 3–5), TDMA interference (Eq. 8), worst-case IRQ latency
+for delayed and interposed handling (Eqs. 11, 12, 16) and the
+interference bounds of sufficient temporal independence (Eqs. 13–15
+and Eq. 14).
+"""
+
+from repro.analysis.busy_window import (
+    NotSchedulableError,
+    ResponseTimeResult,
+    busy_time,
+    response_time,
+)
+from repro.analysis.event_models import (
+    DeltaTableEventModel,
+    EventModel,
+    PeriodicEventModel,
+    TraceEventModel,
+    check_duality,
+    sporadic,
+)
+from repro.analysis.interference import (
+    dmin_for_budget_fraction,
+    interference_budget_fraction,
+    interposed_interference_dmin,
+    interposed_interference_table,
+    slot_interference_fits,
+)
+from repro.analysis.latency import (
+    InterferingIrq,
+    IrqLatencyBound,
+    classic_irq_latency,
+    interposed_irq_latency,
+    latency_improvement_factor,
+    violated_irq_latency,
+)
+from repro.analysis.schedulability import (
+    InterposingLoad,
+    SchedulabilityReport,
+    TaskSpec,
+    TaskVerdict,
+    min_admissible_dmin,
+    partition_schedulable,
+    task_response_time,
+)
+from repro.analysis.tdma import (
+    tdma_interference,
+    tdma_service,
+    worst_case_slot_wait,
+)
+
+__all__ = [
+    "NotSchedulableError",
+    "ResponseTimeResult",
+    "busy_time",
+    "response_time",
+    "DeltaTableEventModel",
+    "EventModel",
+    "PeriodicEventModel",
+    "TraceEventModel",
+    "check_duality",
+    "sporadic",
+    "dmin_for_budget_fraction",
+    "interference_budget_fraction",
+    "interposed_interference_dmin",
+    "interposed_interference_table",
+    "slot_interference_fits",
+    "InterferingIrq",
+    "IrqLatencyBound",
+    "classic_irq_latency",
+    "interposed_irq_latency",
+    "latency_improvement_factor",
+    "violated_irq_latency",
+    "InterposingLoad",
+    "SchedulabilityReport",
+    "TaskSpec",
+    "TaskVerdict",
+    "min_admissible_dmin",
+    "partition_schedulable",
+    "task_response_time",
+    "tdma_interference",
+    "tdma_service",
+    "worst_case_slot_wait",
+]

@@ -1,0 +1,255 @@
+"""Arrival curves η⁺ and minimum-distance functions δ⁻ (Section 4).
+
+Activation patterns are modelled via *arrival functions* η⁺(Δt),
+returning the maximum number of events in any half-open time window of
+size Δt (Le Boudec & Thiran's network calculus, as used by the paper),
+and the dual *minimum distance functions* δ⁻(q), the minimum time
+spanned by any q consecutive events (Richter's standard event models).
+
+Conventions used throughout (the common CPA conventions):
+
+* η⁺(0) = 0; for a strictly periodic stream with period P,
+  η⁺(Δt) = ceil(Δt / P).
+* δ⁻(q) = 0 for q <= 1; for a periodic stream δ⁻(q) = (q - 1) · P.
+* Duality:  η⁺(Δt) = max { q : δ⁻(q) < Δt }  and
+  δ⁻(q) = min { Δt : η⁺(Δt) >= q }.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class EventModel(Protocol):
+    """Anything that provides the η⁺ / δ⁻ pair."""
+
+    def eta_plus(self, dt: int) -> int:
+        """Maximum number of events in any half-open window of size ``dt``."""
+        ...
+
+    def delta_minus(self, q: int) -> int:
+        """Minimum time spanned by any ``q`` consecutive events."""
+        ...
+
+
+def _check_dt(dt: int) -> None:
+    if dt < 0:
+        raise ValueError(f"window size must be >= 0, got {dt}")
+
+
+def _check_q(q: int) -> None:
+    if q < 0:
+        raise ValueError(f"event count must be >= 0, got {q}")
+
+
+class PeriodicEventModel:
+    """Standard periodic-with-jitter event model (P, J, d_min).
+
+    η⁺(Δt) = min( ceil((Δt + J) / P), ceil(Δt / d_min) )
+    δ⁻(q)  = max( (q - 1) · d_min, (q - 1) · P - J )
+
+    A plain periodic stream is ``PeriodicEventModel(P)``; a sporadic
+    stream with minimum interarrival T is also ``PeriodicEventModel(T)``
+    (its η⁺ is the same worst case).
+    """
+
+    def __init__(self, period: int, jitter: int = 0, dmin: int = 1):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        if dmin <= 0:
+            raise ValueError(f"d_min must be positive, got {dmin}")
+        if dmin > period:
+            raise ValueError(
+                f"d_min {dmin} cannot exceed the period {period}"
+            )
+        self.period = period
+        self.jitter = jitter
+        self.dmin = dmin
+
+    def eta_plus(self, dt: int) -> int:
+        _check_dt(dt)
+        if dt == 0:
+            return 0
+        with_jitter = math.ceil((dt + self.jitter) / self.period)
+        burst_limit = math.ceil(dt / self.dmin)
+        return min(with_jitter, burst_limit)
+
+    def delta_minus(self, q: int) -> int:
+        _check_q(q)
+        if q <= 1:
+            return 0
+        return max((q - 1) * self.dmin, (q - 1) * self.period - self.jitter)
+
+    def __repr__(self) -> str:
+        return (
+            f"PeriodicEventModel(P={self.period}, J={self.jitter}, "
+            f"d={self.dmin})"
+        )
+
+
+def sporadic(min_interarrival: int) -> PeriodicEventModel:
+    """Sporadic stream with a minimum interarrival time.
+
+    This is the model of a d_min-shaped interposed-activation stream:
+    the monitor of Section 5 guarantees exactly this η⁺.
+    """
+    return PeriodicEventModel(min_interarrival)
+
+
+class DeltaTableEventModel:
+    """Event model defined by a finite δ⁻ table (the monitor's view).
+
+    ``table[k]`` is the minimum distance between an event and its
+    ``(k+1)``-th predecessor, i.e. δ⁻(k + 2) — exactly the table
+    enforced by :class:`repro.core.monitor.DeltaMinusMonitor` and
+    learned by Algorithm 1.  Beyond the table, δ⁻ is extended by its
+    superadditive closure,
+
+        δ⁻(a + b - 1) >= δ⁻(a) + δ⁻(b),
+
+    which is the tightest sound extension: any q-event span decomposes
+    into overlapping spans covered by the table.
+    """
+
+    def __init__(self, table: Sequence[int]):
+        if len(table) == 0:
+            raise ValueError("δ⁻ table must have at least one entry")
+        running = 0
+        normalized = []
+        for value in table:
+            if value < 0:
+                raise ValueError(f"δ⁻ distances must be >= 0, got {value}")
+            running = max(running, int(value))
+            normalized.append(running)
+        self._table = normalized
+        # _delta[q] = extended δ⁻ for q events; grows on demand.  The
+        # superadditive closure is applied within the table as well: a
+        # table like [1, 1] implicitly requires δ(3) >= 2·δ(2), and
+        # using the raw entries would understate the admitted spacing.
+        self._delta = [0, 0] + list(normalized)
+        for n in range(2, len(self._delta)):
+            best = self._delta[n]
+            for a in range(2, n):
+                b = n - a + 1
+                if b < 2:
+                    break
+                best = max(best, self._delta[a] + self._delta[b])
+            self._delta[n] = best
+
+    @property
+    def depth(self) -> int:
+        return len(self._table)
+
+    def delta_minus(self, q: int) -> int:
+        _check_q(q)
+        if q <= 1:
+            return 0
+        self._extend_to(q)
+        return self._delta[q]
+
+    def eta_plus(self, dt: int) -> int:
+        _check_dt(dt)
+        if dt == 0:
+            return 0
+        # max q with δ⁻(q) < dt.  δ⁻ is non-decreasing and, past the
+        # table, grows at least linearly with slope δ⁻(2) per event
+        # (when δ⁻(2) > 0), so the search terminates.
+        if self._table[0] == 0:
+            raise ValueError(
+                "η⁺ is unbounded: the δ⁻ table permits simultaneous events"
+            )
+        q = 1
+        while self.delta_minus(q + 1) < dt:
+            q += 1
+        return q
+
+    def _extend_to(self, q: int) -> None:
+        while len(self._delta) <= q:
+            n = len(self._delta)
+            best = 0
+            # δ⁻(n) >= max over a in [2, n-1] of δ⁻(a) + δ⁻(n - a + 1)
+            for a in range(2, n):
+                b = n - a + 1
+                if b < 2:
+                    break
+                best = max(best, self._delta[a] + self._delta[b])
+            self._delta.append(best)
+
+    def __repr__(self) -> str:
+        return f"DeltaTableEventModel(l={self.depth}, table={self._table})"
+
+
+class TraceEventModel:
+    """Empirical event model extracted from a concrete activation trace.
+
+    δ⁻(q) is the minimum observed span of q consecutive events and
+    η⁺(Δt) the maximum observed event count in a sliding half-open
+    window.  These describe *this trace exactly* (not a sound bound on
+    other runs of the same source), which is what the trace-driven
+    experiments need.
+    """
+
+    def __init__(self, times: Sequence[int]):
+        stream = sorted(int(t) for t in times)
+        if len(stream) < 2:
+            raise ValueError("need at least two events to build a trace model")
+        self._times = stream
+
+    @property
+    def count(self) -> int:
+        return len(self._times)
+
+    def delta_minus(self, q: int) -> int:
+        _check_q(q)
+        if q <= 1:
+            return 0
+        if q > len(self._times):
+            raise ValueError(
+                f"trace has only {len(self._times)} events, cannot span {q}"
+            )
+        return min(
+            self._times[i + q - 1] - self._times[i]
+            for i in range(len(self._times) - q + 1)
+        )
+
+    def eta_plus(self, dt: int) -> int:
+        _check_dt(dt)
+        if dt == 0:
+            return 0
+        best = 0
+        times = self._times
+        for i, start in enumerate(times):
+            # events in [start, start + dt)
+            j = bisect.bisect_left(times, start + dt)
+            best = max(best, j - i)
+        return best
+
+    def interarrivals(self) -> list[int]:
+        return [b - a for a, b in zip(self._times, self._times[1:])]
+
+    def learned_delta_table(self, depth: int) -> list[int]:
+        """The δ⁻ table Algorithm 1 would learn from this trace."""
+        return [self.delta_minus(k + 2) for k in range(depth)]
+
+    def __repr__(self) -> str:
+        return f"TraceEventModel(n={len(self._times)})"
+
+
+def check_duality(model: EventModel, max_q: int = 50) -> bool:
+    """Verify the η⁺ / δ⁻ duality on a model (used by tests).
+
+    For each q in [2, max_q]: a window of size δ⁻(q) must hold fewer
+    than q events... strictly, η⁺(δ⁻(q)) < q and η⁺(δ⁻(q) + 1) >= q
+    would only hold for exact duals; for conservative models we check
+    the weaker sound direction η⁺(δ⁻(q)) <= q.
+    """
+    for q in range(2, max_q + 1):
+        span = model.delta_minus(q)
+        if span > 0 and model.eta_plus(span) > q:
+            return False
+    return True

@@ -1,0 +1,200 @@
+"""Partition-level schedulability under TDMA and interposing.
+
+The integrator-facing closing of the loop: Section 4 analyses the
+*interrupt's* latency; this module analyses the *victim partition's
+guest tasks* so a system designer can decide whether a proposed
+monitoring condition d_min keeps every deadline — i.e. whether the
+bounded interference of Eq. 2 actually fits the tasks' slack.
+
+For a guest task τ with priority-ordered interferers inside its own
+partition, running in a TDMA slot of length T_i within a cycle T_TDMA,
+and subject to monitored interposing with condition d_min and
+effective cost C'_BH, the q-event busy window is
+
+    W(q) = q·C + Σ_hp η⁺_hp(W)·C_hp            (same-partition preemption)
+         + ceil(W / T_TDMA)·(T_TDMA - T_i)      (Eq. 8, foreign slots)
+         + ceil(W / d_min)·C'_BH                (Eq. 14, interposing)
+
+evaluated with the busy-window machinery of Eqs. 3–5.  The analysis is
+compositional: more interposing sources add more Eq. 14 terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.busy_window import (
+    NotSchedulableError,
+    ResponseTimeResult,
+    response_time,
+)
+from repro.analysis.event_models import PeriodicEventModel
+from repro.analysis.interference import interposed_interference_dmin
+from repro.analysis.tdma import tdma_interference
+from repro.hypervisor.config import CostModel
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Analytical description of one guest task."""
+
+    name: str
+    priority: int              # lower number = higher priority
+    wcet: int                  # cycles
+    period: int                # cycles
+    jitter: int = 0
+    deadline: Optional[int] = None   # defaults to the period
+
+    def __post_init__(self):
+        if self.wcet <= 0:
+            raise ValueError(f"WCET must be positive, got {self.wcet}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+
+    def model(self) -> PeriodicEventModel:
+        return PeriodicEventModel(self.period, jitter=self.jitter)
+
+    def relative_deadline(self) -> int:
+        return self.deadline if self.deadline is not None else self.period
+
+
+@dataclass(frozen=True)
+class InterposingLoad:
+    """One interposing IRQ source hitting the analysed partition's slots."""
+
+    dmin: int
+    c_bh: int                  # declared bottom-handler budget (cycles)
+
+    def effective_cost(self, costs: CostModel) -> int:
+        return costs.effective_bottom_handler_cycles(self.c_bh)
+
+
+@dataclass(frozen=True)
+class TaskVerdict:
+    """Schedulability result for one task."""
+
+    task: TaskSpec
+    response_time: Optional[int]       # None when the analysis diverged
+    deadline: int
+    schedulable: bool
+
+    @property
+    def slack(self) -> Optional[int]:
+        if self.response_time is None:
+            return None
+        return self.deadline - self.response_time
+
+
+@dataclass(frozen=True)
+class SchedulabilityReport:
+    """Partition-wide schedulability verdict."""
+
+    verdicts: tuple[TaskVerdict, ...]
+
+    @property
+    def schedulable(self) -> bool:
+        return all(verdict.schedulable for verdict in self.verdicts)
+
+    def verdict(self, name: str) -> TaskVerdict:
+        for entry in self.verdicts:
+            if entry.task.name == name:
+                return entry
+        raise KeyError(f"no task named {name!r} in the report")
+
+
+def task_response_time(task: TaskSpec, tasks: Sequence[TaskSpec],
+                       tdma_cycle: int, slot_length: int,
+                       interposing: Sequence[InterposingLoad] = (),
+                       costs: "CostModel | None" = None,
+                       q_limit: int = 1_000,
+                       horizon: int = 2**48) -> ResponseTimeResult:
+    """Worst-case response time of one guest task (see module docs)."""
+    costs = costs or CostModel()
+    higher_priority = [
+        (other.model(), other.wcet) for other in tasks
+        if other is not task and other.priority < task.priority
+    ]
+    loads = [(load.dmin, load.effective_cost(costs)) for load in interposing]
+
+    def interference(window: int) -> int:
+        total = tdma_interference(window, tdma_cycle, slot_length)
+        for model, wcet in higher_priority:
+            total += model.eta_plus(window) * wcet
+        for dmin, cost in loads:
+            total += interposed_interference_dmin(window, dmin, cost)
+        return total
+
+    return response_time(task.wcet, task.model(), interference,
+                         q_limit=q_limit, horizon=horizon)
+
+
+def partition_schedulable(tasks: Sequence[TaskSpec],
+                          tdma_cycle: int, slot_length: int,
+                          interposing: Sequence[InterposingLoad] = (),
+                          costs: "CostModel | None" = None) -> SchedulabilityReport:
+    """Check every task of a partition against its deadline."""
+    verdicts = []
+    for task in tasks:
+        deadline = task.relative_deadline()
+        try:
+            result = task_response_time(task, tasks, tdma_cycle,
+                                        slot_length, interposing, costs)
+            verdicts.append(TaskVerdict(
+                task=task,
+                response_time=result.response_time,
+                deadline=deadline,
+                schedulable=result.response_time <= deadline,
+            ))
+        except NotSchedulableError:
+            verdicts.append(TaskVerdict(
+                task=task, response_time=None, deadline=deadline,
+                schedulable=False,
+            ))
+    return SchedulabilityReport(verdicts=tuple(verdicts))
+
+
+def min_admissible_dmin(tasks: Sequence[TaskSpec],
+                        tdma_cycle: int, slot_length: int,
+                        c_bh: int,
+                        costs: "CostModel | None" = None,
+                        upper: Optional[int] = None) -> Optional[int]:
+    """Smallest d_min keeping the partition schedulable.
+
+    This is the designer's question inverted: given the victim
+    partition's task set, how aggressively may a foreign IRQ source
+    interpose (smaller d_min = lower IRQ latency for the source, more
+    interference for the victim)?  Returns None when even the largest
+    probed d_min (i.e. negligible interposing) does not fit.
+
+    Binary search over d_min; the response times are monotonically
+    non-increasing in d_min, so the search is sound.
+    """
+    costs = costs or CostModel()
+    if upper is None:
+        upper = 64 * tdma_cycle
+    effective = costs.effective_bottom_handler_cycles(c_bh)
+    low, high = max(1, effective), upper
+
+    def fits(dmin: int) -> bool:
+        report = partition_schedulable(
+            tasks, tdma_cycle, slot_length,
+            [InterposingLoad(dmin=dmin, c_bh=c_bh)], costs,
+        )
+        return report.schedulable
+
+    if not fits(high):
+        return None
+    if fits(low):
+        return low
+    while low + 1 < high:
+        middle = (low + high) // 2
+        if fits(middle):
+            high = middle
+        else:
+            low = middle
+    return high

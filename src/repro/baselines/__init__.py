@@ -1,0 +1,15 @@
+"""Baseline mechanisms from the related-work discussion (Section 2)."""
+
+from repro.baselines.boost import BoostPolicy
+from repro.baselines.throttling import (
+    InterruptThrottle,
+    MinDistanceThrottle,
+    TokenBucketThrottle,
+)
+
+__all__ = [
+    "BoostPolicy",
+    "InterruptThrottle",
+    "MinDistanceThrottle",
+    "TokenBucketThrottle",
+]

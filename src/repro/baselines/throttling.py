@@ -1,0 +1,113 @@
+"""Interrupt-source throttling baseline (Regehr & Duongsaa, Section 2).
+
+"Preventing interrupt overload" throttles overloading interrupts at
+their source: incoming requests are monitored and, once a prescribed
+limit is reached, the interrupt flag is not cleared (the source stays
+disabled) until a new interrupt is permissible again.  Requests
+arriving while the source is disabled merge into the single pending
+flag (IRQ flags are not counting), so excess activations are lost.
+
+This protects against overload but — unlike the paper's mechanism —
+does nothing for the latency of IRQs waiting for a foreign TDMA slot:
+admitted interrupts still take the delayed path.  The ablation
+experiment contrasts exactly this.
+
+Two classic shapes are provided:
+
+* :class:`MinDistanceThrottle` — one admitted IRQ per ``min_distance``
+  (the arrival-rate counterpart of the paper's d_min condition);
+* :class:`TokenBucketThrottle` — bursts of up to ``burst`` admitted
+  IRQs, refilled at one token per ``refill_period``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class InterruptThrottle:
+    """Interface: admit or suppress an IRQ arrival at the source."""
+
+    def admit(self, time: int) -> bool:
+        """True to deliver the IRQ, False to suppress (merge) it."""
+        raise NotImplementedError
+
+    @property
+    def suppressed_count(self) -> int:
+        raise NotImplementedError
+
+
+class MinDistanceThrottle(InterruptThrottle):
+    """Admit at most one IRQ per ``min_distance`` cycles.
+
+    Unlike the δ⁻ monitor — which *defers* non-conformant bottom
+    handlers to the home slot — a throttled arrival is suppressed
+    entirely; only the pending flag (one outstanding request) remains.
+    """
+
+    def __init__(self, min_distance: int):
+        if min_distance <= 0:
+            raise ValueError(f"min distance must be positive, got {min_distance}")
+        self.min_distance = min_distance
+        self._last_admitted: Optional[int] = None
+        self._admitted = 0
+        self._suppressed = 0
+
+    def admit(self, time: int) -> bool:
+        if (self._last_admitted is not None
+                and time - self._last_admitted < self.min_distance):
+            self._suppressed += 1
+            return False
+        self._last_admitted = time
+        self._admitted += 1
+        return True
+
+    @property
+    def admitted_count(self) -> int:
+        return self._admitted
+
+    @property
+    def suppressed_count(self) -> int:
+        return self._suppressed
+
+
+class TokenBucketThrottle(InterruptThrottle):
+    """Token-bucket admission: bursts up to ``burst``, sustained rate
+    one IRQ per ``refill_period`` cycles."""
+
+    def __init__(self, burst: int, refill_period: int):
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        if refill_period <= 0:
+            raise ValueError(f"refill period must be positive, got {refill_period}")
+        self.burst = burst
+        self.refill_period = refill_period
+        self._tokens = float(burst)
+        self._last_time = 0
+        self._admitted = 0
+        self._suppressed = 0
+
+    def admit(self, time: int) -> bool:
+        if time < self._last_time:
+            raise ValueError(
+                f"arrivals must be monotone: {time} after {self._last_time}"
+            )
+        elapsed = time - self._last_time
+        self._last_time = time
+        self._tokens = min(
+            float(self.burst), self._tokens + elapsed / self.refill_period
+        )
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self._admitted += 1
+            return True
+        self._suppressed += 1
+        return False
+
+    @property
+    def admitted_count(self) -> int:
+        return self._admitted
+
+    @property
+    def suppressed_count(self) -> int:
+        return self._suppressed

@@ -1,0 +1,140 @@
+"""Self-learning δ⁻ functions (Appendix A, Algorithms 1 and 2).
+
+Algorithm 1 of the paper learns a δ⁻ table online from observed IRQ
+timestamps: for each of the last ``l`` events it records the smallest
+distance ever seen between an event and its ``(k+1)``-th predecessor.
+Algorithm 2 then clamps the learned table to a predefined lower bound
+``δ⁻_b`` so the admitted load cannot exceed a configured budget even
+if the observed trace was denser.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.monitor import DeltaMinusMonitor, normalize_delta_table
+
+#: Initialization value for unlearned table entries ("large positive
+#: numbers" in Algorithm 1).  Any real distance observed replaces it.
+UNLEARNED = 2**62
+
+
+class DeltaLearner:
+    """Online learner for a δ⁻ table of depth ``l`` (Algorithm 1).
+
+    Feed every observed activation timestamp to :meth:`observe`; the
+    learned table is available from :meth:`table` at any point.
+
+    The implementation mirrors the paper's pseudo-code: a trace buffer
+    of the last ``l`` timestamps (``tracebuffer[0]`` most recent) and a
+    table ``delta[i]`` holding the minimum observed distance between an
+    event and ``tracebuffer[i]``.
+    """
+
+    def __init__(self, depth: int):
+        if depth <= 0:
+            raise ValueError(f"learner depth must be >= 1, got {depth}")
+        self._depth = depth
+        self._delta = [UNLEARNED] * depth
+        self._tracebuffer: list[Optional[int]] = [None] * depth
+        self._observed = 0
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def observed_count(self) -> int:
+        """Number of timestamps fed to the learner."""
+        return self._observed
+
+    def observe(self, timestamp: int) -> None:
+        """Process one activation timestamp (Algorithm 1 body)."""
+        if self._tracebuffer[0] is not None and timestamp < self._tracebuffer[0]:
+            raise ValueError(
+                f"timestamps must be monotone: got {timestamp} after "
+                f"{self._tracebuffer[0]}"
+            )
+        for i in range(self._depth):
+            previous = self._tracebuffer[i]
+            if previous is None:
+                continue
+            distance = timestamp - previous
+            if distance < self._delta[i]:
+                self._delta[i] = distance
+        # right-shift the trace buffer and insert the new timestamp
+        self._tracebuffer = [timestamp] + self._tracebuffer[:-1]
+        self._observed += 1
+
+    def table(self) -> list[int]:
+        """The learned δ⁻ table so far.
+
+        Entries never exercised (fewer than ``i + 2`` observations)
+        remain at :data:`UNLEARNED`, i.e. maximally restrictive until
+        evidence arrives — the same semantics as the paper's
+        "initialized with large positive numbers".
+        """
+        return list(self._delta)
+
+    def is_complete(self) -> bool:
+        """True once every table entry has been learned from data."""
+        return all(value != UNLEARNED for value in self._delta)
+
+    def __repr__(self) -> str:
+        return f"DeltaLearner(l={self._depth}, observed={self._observed})"
+
+
+def clamp_to_bound(learned: Sequence[int], bound: Sequence[int]) -> list[int]:
+    """Clamp a learned δ⁻ table to a predefined upper-load bound
+    (Algorithm 2).
+
+    Every entry of the result is ``max(learned[i], bound[i])``: where
+    the observed trace was denser (smaller distance) than the bound
+    allows, the bound wins, limiting the admissible interposing load.
+    """
+    if len(learned) != len(bound):
+        raise ValueError(
+            f"table length mismatch: learned has {len(learned)} entries, "
+            f"bound has {len(bound)}"
+        )
+    return [max(int(a), int(b)) for a, b in zip(learned, bound)]
+
+
+def scale_table_to_load_fraction(table: Sequence[int], fraction: float) -> list[int]:
+    """Derive a bound table admitting only ``fraction`` of a table's load.
+
+    Admissible event density is inversely proportional to the δ⁻
+    distances, so allowing e.g. 25 % of the recorded load means scaling
+    every distance by 1/0.25 = 4.  This is how the Fig. 7 bounds
+    (b) 25 %, (c) 12.5 %, (d) 6.25 % are constructed from the recorded
+    δ⁻ table.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"load fraction must be in (0, 1], got {fraction}")
+    scaled = []
+    for value in table:
+        if value >= UNLEARNED:
+            scaled.append(UNLEARNED)
+        else:
+            scaled.append(round(value / fraction))
+    return scaled
+
+
+def build_monitor(learned: Sequence[int],
+                  bound: Optional[Sequence[int]] = None) -> DeltaMinusMonitor:
+    """Construct the run-mode monitor from a learned table.
+
+    Applies Algorithm 2 if a bound is given, then normalizes the table
+    (δ⁻ must be non-decreasing) and instantiates the monitor.  Entries
+    still at :data:`UNLEARNED` are rejected: running a monitor with an
+    unlearned table would deny everything silently.
+    """
+    table = list(learned)
+    if bound is not None:
+        table = clamp_to_bound(table, bound)
+    if any(value >= UNLEARNED for value in table):
+        raise ValueError(
+            "δ⁻ table has unlearned entries; extend the learning phase "
+            "or provide a finite bound for every entry"
+        )
+    return DeltaMinusMonitor(normalize_delta_table(table))

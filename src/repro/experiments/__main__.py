@@ -1,0 +1,140 @@
+"""Command-line entry point for the paper-reproduction experiments.
+
+Usage::
+
+    python -m repro.experiments fig6a            # full paper-scale run
+    python -m repro.experiments fig6b --quick    # reduced IRQ counts
+    python -m repro.experiments all
+
+Experiment ids match the per-experiment index in DESIGN.md:
+fig6a, fig6b, fig6c, fig7, tab62, validation, ablation, sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablation import (
+    render_boost_ablation,
+    render_depth_ablation,
+    render_throttle_ablation,
+    run_boost_ablation,
+    run_depth_ablation,
+    run_throttle_ablation,
+)
+from repro.experiments.design import render_design, run_design
+from repro.experiments.fig6 import Fig6Config, render_fig6, run_fig6
+from repro.experiments.fig7 import Fig7Config, render_fig7, run_fig7
+from repro.experiments.overhead import render_overhead, run_overhead
+from repro.experiments.sweep import (
+    render_cycle_sweep,
+    render_dmin_sweep,
+    run_cycle_sweep,
+    run_dmin_sweep,
+)
+from repro.experiments.validation import render_validation, run_validation
+from repro.workloads.automotive import AutomotiveTraceConfig
+
+EXPERIMENTS = ("fig6a", "fig6b", "fig6c", "fig7", "tab62",
+               "validation", "ablation", "sweep", "design")
+
+
+def _run_one(name: str, quick: bool, seed: int,
+             export_dir: "str | None" = None) -> str:
+    if name.startswith("fig6"):
+        scenario = name[-1]
+        config = Fig6Config(irqs_per_load=1_000 if quick else 5_000, seed=seed)
+        result = run_fig6(scenario, config)
+        if export_dir is not None:
+            _export_fig6(export_dir, name, result)
+        return render_fig6(result)
+    if name == "fig7":
+        trace = AutomotiveTraceConfig(
+            activation_count=3_000 if quick else 11_000, seed=seed
+        )
+        results = run_fig7(Fig7Config(trace=trace))
+        if export_dir is not None:
+            _export_fig7(export_dir, results)
+        return render_fig7(results)
+    if name == "tab62":
+        result = run_overhead(irqs_per_load=500 if quick else 2_000, seed=seed)
+        return render_overhead(result)
+    if name == "validation":
+        result = run_validation(irq_count=1_000 if quick else 3_000, seed=seed)
+        return render_validation(result)
+    if name == "ablation":
+        boost = run_boost_ablation(irq_count=500 if quick else 1_500, seed=seed)
+        throttle = run_throttle_ablation(
+            irq_count=500 if quick else 1_500, seed=seed
+        )
+        depth = run_depth_ablation(
+            activation_count=1_500 if quick else 3_000
+        )
+        return (render_boost_ablation(boost) + "\n\n"
+                + render_throttle_ablation(throttle) + "\n\n"
+                + render_depth_ablation(depth))
+    if name == "design":
+        return render_design(run_design(irq_count=300 if quick else 600))
+    if name == "sweep":
+        cycle = run_cycle_sweep(irq_count=300 if quick else 1_000, seed=seed)
+        dmin = run_dmin_sweep(irq_count=300 if quick else 1_000, seed=seed)
+        return render_cycle_sweep(cycle) + "\n\n" + render_dmin_sweep(dmin)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def _export_fig6(export_dir: str, name: str, result) -> None:
+    from pathlib import Path
+
+    from repro.metrics.export import write_histogram_csv, write_series_csv
+
+    directory = Path(export_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_histogram_csv(directory / f"{name}_histogram.csv", result.histogram)
+    write_series_csv(directory / f"{name}_latencies.csv",
+                     result.latencies_us, column="latency_us")
+
+
+def _export_fig7(export_dir: str, results) -> None:
+    from pathlib import Path
+
+    from repro.metrics.export import write_series_csv
+
+    directory = Path(export_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    for label, case in results.items():
+        write_series_csv(directory / f"fig7_{label}_running_avg.csv",
+                         case.series_us, column="avg_latency_us")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        choices=EXPERIMENTS + ("all",),
+                        help="experiment id (see DESIGN.md)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced IRQ counts for a fast smoke run")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="base random seed (default 1)")
+    parser.add_argument("--export", metavar="DIR", default=None,
+                        help="write CSV data (histograms, latency series) "
+                             "to this directory")
+    args = parser.parse_args(argv)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        started = time.time()
+        output = _run_one(name, args.quick, args.seed, args.export)
+        elapsed = time.time() - started
+        print(f"=== {name} ({elapsed:.1f}s) " + "=" * max(0, 50 - len(name)))
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

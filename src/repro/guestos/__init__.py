@@ -1,0 +1,6 @@
+"""Guest operating system substrate (uC/OS-like fixed-priority kernel)."""
+
+from repro.guestos.kernel import GuestKernel, TaskStats
+from repro.guestos.tasks import GuestJob, GuestTask
+
+__all__ = ["GuestKernel", "TaskStats", "GuestJob", "GuestTask"]

@@ -1,0 +1,61 @@
+"""Simulated real-time hypervisor (uC/OS-MMU model).
+
+TDMA partition scheduling, split top/bottom interrupt handling,
+monitored interposed bottom handlers, context-switch cost accounting,
+IPC and the Section 6.2 footprint model.
+"""
+
+from repro.hypervisor.config import (
+    CostModel,
+    HypervisorConfig,
+    SlotConfig,
+    PAPER_CTX_INVALIDATE_INSTRUCTIONS,
+    PAPER_CTX_WRITEBACK_CYCLES,
+    PAPER_MONITOR_INSTRUCTIONS,
+    PAPER_SCHEDULER_INSTRUCTIONS,
+)
+from repro.hypervisor.context import ContextSwitchModel, SwitchReason
+from repro.hypervisor.footprint import (
+    PAPER_FOOTPRINT,
+    ComponentFootprint,
+    monitor_data_bytes,
+    render_footprint_table,
+    total_paper_code_bytes,
+    total_paper_data_bytes,
+)
+from repro.hypervisor.hypervisor import Hypervisor, HypervisorStats, LatencyRecord
+from repro.hypervisor.ipc import IpcChannel, IpcChannelFull, IpcRouter, Message
+from repro.hypervisor.irq import IrqEvent, IrqQueue, IrqQueueOverflow, IrqSource
+from repro.hypervisor.partition import Partition
+from repro.hypervisor.scheduler import TdmaScheduler
+
+__all__ = [
+    "CostModel",
+    "HypervisorConfig",
+    "SlotConfig",
+    "PAPER_CTX_INVALIDATE_INSTRUCTIONS",
+    "PAPER_CTX_WRITEBACK_CYCLES",
+    "PAPER_MONITOR_INSTRUCTIONS",
+    "PAPER_SCHEDULER_INSTRUCTIONS",
+    "ContextSwitchModel",
+    "SwitchReason",
+    "PAPER_FOOTPRINT",
+    "ComponentFootprint",
+    "monitor_data_bytes",
+    "render_footprint_table",
+    "total_paper_code_bytes",
+    "total_paper_data_bytes",
+    "Hypervisor",
+    "HypervisorStats",
+    "LatencyRecord",
+    "IpcChannel",
+    "IpcChannelFull",
+    "IpcRouter",
+    "Message",
+    "IrqEvent",
+    "IrqQueue",
+    "IrqQueueOverflow",
+    "IrqSource",
+    "Partition",
+    "TdmaScheduler",
+]

@@ -1,0 +1,124 @@
+"""Static memory-footprint model (Section 6.2).
+
+The paper reports the code/data memory cost of the mechanism inside
+the hypervisor, measured with gcc -O1 on the ARM target:
+
+====================================  ==========  ==========
+Component                             Code bytes  Data bytes
+====================================  ==========  ==========
+TDMA scheduler modification                  392           0
+Modified top handler (Fig. 4b)               456           0
+Monitoring function                          272          28
+------------------------------------  ----------  ----------
+Total                                       1120          28
+====================================  ==========  ==========
+
+Binary code size is a property of the original implementation that a
+Python simulation cannot re-measure; what we reproduce is the
+*accounting* — which components the mechanism adds and how the budget
+splits across them — and we report our equivalent Python module sizes
+next to the paper's numbers for scale.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ComponentFootprint:
+    """Footprint entry for one mechanism component."""
+
+    name: str
+    paper_code_bytes: int
+    paper_data_bytes: int
+    module: str                       # our implementing module
+    description: str
+
+    def module_source_bytes(self) -> Optional[int]:
+        """Size of our implementing Python source, if resolvable."""
+        try:
+            mod = importlib.import_module(self.module)
+        except ImportError:
+            return None
+        path = getattr(mod, "__file__", None)
+        if path is None:
+            return None
+        return Path(path).stat().st_size
+
+
+#: The paper's Section 6.2 inventory, mapped onto our modules.
+PAPER_FOOTPRINT: tuple[ComponentFootprint, ...] = (
+    ComponentFootprint(
+        name="TDMA scheduler modification",
+        paper_code_bytes=392,
+        paper_data_bytes=0,
+        module="repro.hypervisor.scheduler",
+        description="interposed-window support in the partition scheduler",
+    ),
+    ComponentFootprint(
+        name="Modified top handler",
+        paper_code_bytes=456,
+        paper_data_bytes=0,
+        module="repro.hypervisor.hypervisor",
+        description="Fig. 4b dispatch: direct / delayed / interposed",
+    ),
+    ComponentFootprint(
+        name="Monitoring function",
+        paper_code_bytes=272,
+        paper_data_bytes=28,
+        module="repro.core.monitor",
+        description="delta-minus activation monitor",
+    ),
+)
+
+
+def total_paper_code_bytes() -> int:
+    """Total mechanism code size reported by the paper (1120 bytes)."""
+    return sum(entry.paper_code_bytes for entry in PAPER_FOOTPRINT)
+
+
+def total_paper_data_bytes() -> int:
+    """Total mechanism data size reported by the paper (28 bytes)."""
+    return sum(entry.paper_data_bytes for entry in PAPER_FOOTPRINT)
+
+
+def monitor_data_bytes(depth: int, timestamp_bytes: int = 4) -> int:
+    """Model of the monitor's data memory as a function of table depth.
+
+    The monitor state is the δ⁻ table (``depth`` entries) plus the
+    history buffer of the last ``depth`` accepted timestamps, i.e.
+    ``2 * depth * timestamp_bytes`` bytes, plus a small fixed header.
+    With the paper's ``l = 1``-oriented implementation and 32-bit
+    timestamps this reproduces the reported 28 bytes for a small fixed
+    overhead of 20 bytes.
+    """
+    if depth <= 0:
+        raise ValueError(f"depth must be positive, got {depth}")
+    fixed_overhead = 20
+    return fixed_overhead + 2 * depth * timestamp_bytes
+
+
+def render_footprint_table() -> str:
+    """Text table comparing the paper's sizes with our module sizes."""
+    header = (
+        f"{'component':<34s} {'paper code':>10s} {'paper data':>10s} "
+        f"{'our module':<32s} {'py bytes':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for entry in PAPER_FOOTPRINT:
+        size = entry.module_source_bytes()
+        size_text = "n/a" if size is None else str(size)
+        lines.append(
+            f"{entry.name:<34s} {entry.paper_code_bytes:>10d} "
+            f"{entry.paper_data_bytes:>10d} {entry.module:<32s} {size_text:>9s}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<34s} {total_paper_code_bytes():>10d} "
+        f"{total_paper_data_bytes():>10d}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,868 @@
+"""The simulated real-time hypervisor (uC/OS-MMU model).
+
+This module ties the substrate together: TDMA partition scheduling
+(Section 3), split top/bottom interrupt handling (Fig. 2), the original
+and modified top handlers (Fig. 4a/4b), monitored interposed bottom
+handler execution with budget enforcement (Section 5), and all the
+accounting the evaluation needs (latencies, context switches,
+per-partition interference).
+
+Execution model
+---------------
+The single CPU either runs a preemptible :class:`~repro.sim.cpu.Execution`
+(a guest task, a bottom handler, or the idle loop) or is inside a
+*masked hypervisor section* — a chain of timed steps (top handler,
+monitor check, scheduler manipulation, context switch) during which the
+interrupt controller holds pending lines.  IRQ lines preempt
+executions; hypervisor sections complete atomically.
+
+Interrupt handling paths (Fig. 4b)
+----------------------------------
+* **direct** — the subscriber's own slot is active: the event is queued
+  and the partition's dispatcher runs the bottom handler immediately
+  after the hypervisor returns to partition context.
+* **delayed** — foreign slot, interposing denied: the event waits in
+  the queue until the subscriber's next slot.
+* **interposed** — foreign slot, monitor grants the activation: the
+  hypervisor pays ``C_sched`` plus a context switch, runs the bottom
+  handler in the subscriber's context for at most ``C_BH`` cycles
+  (budget enforced), then switches back.
+
+An interposed window executes the subscriber's bottom-handler
+dispatcher, which drains the IRQ queue head-first within the enforced
+budget, so FIFO ordering of bottom handlers is preserved even when
+older delayed events are still pending (Section 5: "In all three cases
+the IRQ queues are used, to prevent an out-of-order execution of
+IRQs").  If a TDMA boundary fires during a window, the partition
+switch is (configurably) deferred until the window's bounded budget
+runs out, so d_min-adherent IRQs are never pushed back to delayed
+handling — matching Fig. 6c, where no IRQ is delayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.independence import InterferenceKind, InterferenceLedger
+from repro.core.policy import HandlingMode
+from repro.guestos.tasks import GuestJob
+from repro.hypervisor.config import HypervisorConfig, SlotConfig
+from repro.hypervisor.context import ContextSwitchModel, SwitchReason
+from repro.hypervisor.irq import IrqEvent, IrqSource
+from repro.hypervisor.partition import Partition
+from repro.hypervisor.scheduler import TdmaScheduler
+from repro.sim.clock import Clock
+from repro.sim.cpu import Cpu, Execution
+from repro.sim.engine import SimulationEngine
+from repro.sim.intc import InterruptController
+from repro.sim.trace import TraceKind, TraceRecorder
+
+
+@dataclass(frozen=True)
+class LatencyRecord:
+    """Measured latency of one IRQ (Section 6.1 protocol).
+
+    ``arrival`` is the top-handler activation timestamp, ``completed_at``
+    the completion of the corresponding bottom handler; the difference
+    is the measured IRQ latency.
+    """
+
+    source: str
+    seq: int
+    arrival: int
+    completed_at: int
+    mode: HandlingMode
+    enforced_cut: bool
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.arrival
+
+
+@dataclass
+class HypervisorStats:
+    """Aggregate counters maintained during a run."""
+
+    irqs_delivered: int = 0
+    windows_opened: int = 0
+    windows_suspended: int = 0        # interposed windows cut by a slot boundary
+    slot_switches_deferred: int = 0   # boundaries deferred until a window closed
+    budget_exhausted: int = 0         # enforcement fired (C_BH cap reached)
+    structural_denials: int = 0       # interpose impossible (window open / queue busy)
+    monitor_consultations: int = 0
+    spurious_irqs: int = 0
+    irqs_throttled: int = 0           # suppressed by a source-level throttle
+
+
+@dataclass
+class _InterposeWindow:
+    """State of an in-progress interposed bottom-handler execution.
+
+    ``trigger`` is the accepted IRQ event that opened the window;
+    ``active_event`` is the queue head currently being processed.  The
+    window executes the subscriber's bottom-handler dispatcher, which
+    drains the IRQ queue head-first (FIFO), for at most
+    ``budget_remaining`` cycles — the hypervisor-enforced ``C_BH`` of
+    the accepted activation.
+    """
+
+    trigger: IrqEvent
+    subscriber: Partition
+    host: str                          # partition whose slot is consumed
+    budget_remaining: int
+    started_at: int
+    active_event: Optional[IrqEvent] = None
+    current_execution: Optional[Execution] = None
+    #: A pseudo-window carries a *home* bottom handler over a deferred
+    #: TDMA boundary (bounded by the declared C_BH); it involves no
+    #: extra context switches and no foreign-slot classification.
+    pseudo: bool = False
+
+
+class Hypervisor:
+    """A complete simulated hypervisor system.
+
+    Typical construction::
+
+        hv = Hypervisor([SlotConfig("P1", c1), SlotConfig("P2", c2)])
+        hv.add_partition(Partition("P1"))
+        hv.add_partition(Partition("P2"))
+        hv.add_irq_source(IrqSource(..., subscriber="P2", policy=...))
+        hv.start()
+        hv.run_until(hv.clock.ms_to_cycles(500))
+    """
+
+    def __init__(self, slots: Sequence[SlotConfig],
+                 config: Optional[HypervisorConfig] = None):
+        self.config = config or HypervisorConfig()
+        self.clock: Clock = self.config.make_clock()
+        self.engine = SimulationEngine()
+        self.trace = TraceRecorder(enabled=self.config.trace_enabled,
+                                   capacity=self.config.trace_capacity)
+        self.intc = InterruptController(self.engine, trace=self.trace)
+        self.cpu = Cpu(self.engine,
+                       record_segments=self.config.record_cpu_segments)
+        self.scheduler = TdmaScheduler(slots)
+        self.context_switches = ContextSwitchModel(self.config.costs)
+        self.ledger = InterferenceLedger()
+        self.stats = HypervisorStats()
+        self.latency_records: list[LatencyRecord] = []
+
+        self._partitions: dict[str, Partition] = {}
+        self._sources_by_line: dict[int, IrqSource] = {}
+        self._sources: dict[str, IrqSource] = {}
+        self._irq_seq: dict[str, int] = {}
+        self._window: Optional[_InterposeWindow] = None
+        self._deferred_slot_switch = False
+        self._slot_line = self.config.slot_timer_line
+        self._started = False
+        self._ipc_router = None  # set via attach_ipc_router
+
+        self.intc.set_dispatcher(self._irq_entry)
+
+    # ------------------------------------------------------------------
+    # System construction
+    # ------------------------------------------------------------------
+
+    def add_partition(self, partition: Partition) -> Partition:
+        """Register a partition; its name must appear in the slot table."""
+        if self._started:
+            raise RuntimeError("cannot add partitions after start()")
+        if partition.name in self._partitions:
+            raise ValueError(f"duplicate partition {partition.name!r}")
+        if partition.name not in self.scheduler.partitions():
+            raise ValueError(
+                f"partition {partition.name!r} has no slot in the TDMA table"
+            )
+        self._partitions[partition.name] = partition
+        if partition.guest is not None:
+            kernel = partition.guest
+            kernel.attach(self.engine,
+                          lambda name=partition.name: self._notify_work(name))
+        return partition
+
+    def add_irq_source(self, source: IrqSource) -> IrqSource:
+        """Register a hardware IRQ source."""
+        if self._started:
+            raise RuntimeError("cannot add IRQ sources after start()")
+        if source.line == self._slot_line:
+            raise ValueError(
+                f"line {source.line} is reserved for the hypervisor slot timer"
+            )
+        if source.line in self._sources_by_line:
+            raise ValueError(f"line {source.line} already in use")
+        if source.name in self._sources:
+            raise ValueError(f"duplicate IRQ source name {source.name!r}")
+        if source.subscriber not in self._partitions:
+            raise ValueError(
+                f"IRQ source {source.name!r} subscribes unknown partition "
+                f"{source.subscriber!r}"
+            )
+        self._sources_by_line[source.line] = source
+        self._sources[source.name] = source
+        self._irq_seq[source.name] = 0
+        return source
+
+    def partition(self, name: str) -> Partition:
+        return self._partitions[name]
+
+    @property
+    def partitions(self) -> dict[str, Partition]:
+        return dict(self._partitions)
+
+    def irq_source(self, name: str) -> IrqSource:
+        return self._sources[name]
+
+    def attach_ipc_router(self, router) -> None:
+        """Install an :class:`~repro.hypervisor.ipc.IpcRouter`."""
+        self._ipc_router = router
+        router.bind(self)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin TDMA scheduling and dispatch the first partition."""
+        if self._started:
+            raise RuntimeError("hypervisor already started")
+        missing = [
+            name for name in self.scheduler.partitions()
+            if name not in self._partitions
+        ]
+        if missing:
+            raise RuntimeError(f"slot table references unknown partitions: {missing}")
+        self._started = True
+        boundary = self.scheduler.start(self.engine.now)
+        self._schedule_boundary(boundary)
+        first = self._partitions[self.scheduler.current_owner]
+        first.slots_entered += 1
+        self._dispatch(first)
+
+    def run_until(self, time_cycles: int) -> None:
+        """Run the simulation up to an absolute time in cycles."""
+        self._require_started()
+        self.engine.run_until(time_cycles)
+
+    def run_for_us(self, microseconds: float) -> None:
+        """Run the simulation for a duration given in microseconds."""
+        self._require_started()
+        self.engine.run_until(self.engine.now + self.clock.us_to_cycles(microseconds))
+
+    def run_until_irq_count(self, count: int, source: Optional[str] = None,
+                            limit_cycles: Optional[int] = None) -> int:
+        """Run until ``count`` bottom handlers have completed.
+
+        Returns the number of completed IRQs (which may be lower if the
+        event queue ran dry or ``limit_cycles`` was hit first).
+        """
+        self._require_started()
+
+        def completed() -> int:
+            if source is None:
+                return len(self.latency_records)
+            return sum(1 for rec in self.latency_records if rec.source == source)
+
+        while completed() < count:
+            if limit_cycles is not None and self.engine.now >= limit_cycles:
+                break
+            if not self.engine.step():
+                break
+        return completed()
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("call start() before running the simulation")
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    def latencies_us(self, source: Optional[str] = None,
+                     mode: Optional[HandlingMode] = None) -> list[float]:
+        """Measured IRQ latencies in microseconds, optionally filtered."""
+        return [
+            self.clock.cycles_to_us(rec.latency)
+            for rec in self.latency_records
+            if (source is None or rec.source == source)
+            and (mode is None or rec.mode == mode)
+        ]
+
+    def mode_counts(self, source: Optional[str] = None) -> dict[HandlingMode, int]:
+        """How many IRQs completed in each handling mode."""
+        counts = {mode: 0 for mode in HandlingMode}
+        for rec in self.latency_records:
+            if source is None or rec.source == source:
+                counts[rec.mode] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # IRQ entry (interrupt controller dispatcher)
+    # ------------------------------------------------------------------
+
+    def _irq_entry(self, line: int) -> None:
+        self.intc.mask_all()
+        self.intc.acknowledge(line)
+        preempted = self.cpu.preempt()
+        if preempted is not None:
+            self._reconcile(preempted)
+        if line == self._slot_line:
+            if (self._window is not None
+                    and self.config.defer_slot_switch_for_window):
+                # Let the enforced window run out its (bounded) budget
+                # before switching partitions; the boundary is handled
+                # when the window closes.
+                self._deferred_slot_switch = True
+                self.stats.slot_switches_deferred += 1
+                self._resume()
+                return
+            if (self.config.defer_slot_switch_for_window
+                    and preempted is not None
+                    and isinstance(preempted.owner, IrqEvent)):
+                # The boundary hit an in-progress *home* bottom handler.
+                # Defer the switch for its remaining work, capped by the
+                # declared C_BH — the same bounded perturbation as for
+                # interposed windows — instead of parking the remainder
+                # for a whole TDMA rotation.
+                event = preempted.owner
+                cap = min(event.bh_remaining,
+                          event.source.bottom_handler_cycles)
+                if cap > 0:
+                    partition = self._partitions[self.scheduler.current_owner]
+                    self._deferred_slot_switch = True
+                    self.stats.slot_switches_deferred += 1
+                    self._window = _InterposeWindow(
+                        trigger=event,
+                        subscriber=partition,
+                        host=partition.name,
+                        budget_remaining=cap,
+                        started_at=self.engine.now,
+                        pseudo=True,
+                    )
+                    self._resume()
+                    return
+            self._slot_switch()
+            return
+        source = self._sources_by_line.get(line)
+        if source is None:
+            self.stats.spurious_irqs += 1
+            self._resume()
+            return
+        self.stats.irqs_delivered += 1
+        self._top_handler(source)
+
+    # ------------------------------------------------------------------
+    # Top handler (Fig. 4a / 4b)
+    # ------------------------------------------------------------------
+
+    def _top_handler(self, source: IrqSource) -> None:
+        t0 = self.engine.now
+        seq = self._irq_seq[source.name]
+        self._irq_seq[source.name] = seq + 1
+        self.trace.emit(t0, TraceKind.TOP_HANDLER_START, source=source.name, seq=seq)
+        event = IrqEvent(source=source, seq=seq, arrival=t0,
+                         bh_remaining=source.actual_bottom_cycles(seq))
+        c_th = source.top_handler_cycles
+        host = self.scheduler.current_owner
+
+        def th_body() -> None:
+            self.cpu.charge_overhead(c_th)
+            self._record_interference(t0, t0 + c_th, source,
+                                      InterferenceKind.TOP_HANDLER)
+            if source.on_top_handler is not None:
+                source.on_top_handler(event)
+            if source.throttle is not None and not source.throttle.admit(t0):
+                # Source-level throttling (Regehr & Duongsaa baseline):
+                # the request is suppressed before it becomes an event.
+                self.stats.irqs_throttled += 1
+                self.trace.emit(self.engine.now, TraceKind.TOP_HANDLER_END,
+                                source=source.name, seq=seq, mode="throttled")
+                self._resume()
+                return
+            source.policy.observe_arrival(t0)
+            subscriber = self._partitions[source.subscriber]
+            subscriber.irq_queue.push(event)
+            if event.bh_remaining == 0:
+                # A zero-demand bottom handler has no partition-context
+                # work to delay or interpose.  If it is the queue head
+                # it completes within the top handler; otherwise it
+                # completes when the dispatcher drains the queue to it
+                # (FIFO).
+                event.mode = (HandlingMode.DIRECT
+                              if source.subscriber == host
+                              else HandlingMode.DELAYED)
+                if subscriber.irq_queue.head() is event:
+                    self._complete_event(event, subscriber)
+                self.trace.emit(self.engine.now, TraceKind.TOP_HANDLER_END,
+                                source=source.name, seq=seq, mode="empty")
+                self._resume()
+                return
+            if source.subscriber == host:
+                event.mode = HandlingMode.DIRECT
+                self.trace.emit(self.engine.now, TraceKind.TOP_HANDLER_END,
+                                source=source.name, seq=seq, mode="direct")
+                self._resume()
+            else:
+                self._foreign_decision(source, event, subscriber, t0, host)
+
+        self.engine.schedule(c_th, th_body)
+
+    def _foreign_decision(self, source: IrqSource, event: IrqEvent,
+                          subscriber: Partition, t0: int, host: str) -> None:
+        """Decide delayed vs. interposed handling for a foreign-slot IRQ."""
+        if not source.policy.monitoring_cost_applies:
+            self._decide_interpose(source, event, subscriber, t0)
+            return
+        c_mon = self.config.costs.monitor_cycles()
+        self.stats.monitor_consultations += 1
+        start = self.engine.now
+
+        def after_monitor() -> None:
+            self.cpu.charge_overhead(c_mon)
+            self._record_interference(start, start + c_mon, source,
+                                      InterferenceKind.MONITOR)
+            self._decide_interpose(source, event, subscriber, t0)
+
+        self.engine.schedule(c_mon, after_monitor)
+
+    def _decide_interpose(self, source: IrqSource, event: IrqEvent,
+                          subscriber: Partition, t0: int) -> None:
+        structurally_possible = self._window is None
+        allowed = structurally_possible and source.policy.request_interpose(t0)
+        now = self.engine.now
+        if allowed:
+            event.mode = HandlingMode.INTERPOSED
+            self.trace.emit(now, TraceKind.MONITOR_ACCEPT,
+                            source=source.name, seq=event.seq)
+            self.trace.emit(now, TraceKind.TOP_HANDLER_END,
+                            source=source.name, seq=event.seq, mode="interposed")
+            self._begin_interpose(source, event, subscriber)
+            return
+        event.mode = HandlingMode.DELAYED
+        if structurally_possible:
+            self.trace.emit(now, TraceKind.MONITOR_DENY,
+                            source=source.name, seq=event.seq)
+        else:
+            self.stats.structural_denials += 1
+        self.trace.emit(now, TraceKind.TOP_HANDLER_END,
+                        source=source.name, seq=event.seq, mode="delayed")
+        self._resume()
+
+    # ------------------------------------------------------------------
+    # Interposed bottom-handler windows (Section 5)
+    # ------------------------------------------------------------------
+
+    def _begin_interpose(self, source: IrqSource, event: IrqEvent,
+                         subscriber: Partition) -> None:
+        host = self.scheduler.current_owner
+        window = _InterposeWindow(
+            trigger=event,
+            subscriber=subscriber,
+            host=host,
+            budget_remaining=source.bottom_handler_cycles,
+            started_at=self.engine.now,
+        )
+        c_sched = self.config.costs.scheduler_cycles()
+        c_ctx = self.context_switches.switch(SwitchReason.INTERPOSE_ENTER)
+        overhead = c_sched + c_ctx
+        start = self.engine.now
+        self.stats.windows_opened += 1
+        self.trace.emit(start, TraceKind.INTERPOSE_START,
+                        source=source.name, seq=event.seq,
+                        subscriber=subscriber.name, host=host)
+        self.trace.emit(start, TraceKind.CONTEXT_SWITCH,
+                        reason=SwitchReason.INTERPOSE_ENTER.value)
+
+        def entered() -> None:
+            self.cpu.charge_overhead(overhead)
+            self._record_interference(start, start + overhead, source,
+                                      InterferenceKind.INTERPOSED_BH)
+            self._window = window
+            self._assign_window_execution()
+            self.intc.unmask_all()
+
+        self.engine.schedule(overhead, entered)
+
+    def _assign_window_execution(self) -> None:
+        """Run the subscriber's bottom-handler dispatcher, budget-capped.
+
+        The window drains the subscriber's IRQ queue head-first (FIFO;
+        older delayed events complete before the accepted one) until
+        the queue is empty or the enforcement budget ``C_BH`` of the
+        accepted activation is exhausted.  Caller must hold the
+        interrupt mask; it is released here (or by
+        :meth:`_close_window` when nothing is left to run).
+        """
+        window = self._window
+        assert window is not None
+        head = window.subscriber.irq_queue.head()
+        while head is not None and head.bh_remaining == 0:
+            # Zero-demand events complete without occupying the window.
+            self._complete_event(head, window.subscriber, in_window=True)
+            head = window.subscriber.irq_queue.head()
+        if head is None or window.budget_remaining <= 0:
+            self._close_window()
+            return
+        run_for = min(head.bh_remaining, window.budget_remaining)
+        execution = Execution(
+            label=f"bh-interposed:{head.source.name}#{head.seq}",
+            remaining=run_for,
+            on_complete=self._window_exec_done,
+            category=f"bh:{window.subscriber.name}",
+            owner=window,
+        )
+        window.active_event = head
+        window.current_execution = execution
+        self.trace.emit(self.engine.now, TraceKind.BOTTOM_HANDLER_START,
+                        source=head.source.name, seq=head.seq,
+                        mode="home-deferred" if window.pseudo else "interposed")
+        self.cpu.assign(execution)
+
+    def _window_exec_done(self) -> None:
+        window = self._window
+        assert window is not None and window.current_execution is not None
+        self._reconcile(window.current_execution)
+        event = window.active_event
+        if event is None:
+            # The bottom handler completed (recorded by _reconcile);
+            # continue with the next queued event or close the window.
+            self._assign_window_execution()
+            return
+        # Budget exhausted with work left: enforcement cuts the handler.
+        event.enforced_cut = True
+        self.stats.budget_exhausted += 1
+        self.trace.emit(self.engine.now,
+                        TraceKind.BOTTOM_HANDLER_BUDGET_EXHAUSTED,
+                        source=event.source.name, seq=event.seq,
+                        remaining=event.bh_remaining)
+        self._close_window()
+
+    def _close_window(self) -> None:
+        """Switch back to the interrupted partition's context."""
+        self.intc.mask_all()
+        window = self._window
+        assert window is not None
+        if window.pseudo:
+            # A deferred home bottom handler: no extra context switch —
+            # the pending slot switch performs the one real switch.
+            self._window = None
+            if self._deferred_slot_switch:
+                self._deferred_slot_switch = False
+                self._slot_switch()
+            else:
+                self._dispatch(self._partitions[self.scheduler.current_owner])
+                self.intc.unmask_all()
+            return
+        trigger = window.trigger
+        c_ctx = self.context_switches.switch(SwitchReason.INTERPOSE_EXIT)
+        start = self.engine.now
+        self.trace.emit(start, TraceKind.CONTEXT_SWITCH,
+                        reason=SwitchReason.INTERPOSE_EXIT.value)
+
+        def exited() -> None:
+            self.cpu.charge_overhead(c_ctx)
+            self._record_interference(start, start + c_ctx,
+                                      trigger.source,
+                                      InterferenceKind.INTERPOSED_BH)
+            self.trace.emit(self.engine.now, TraceKind.INTERPOSE_END,
+                            source=trigger.source.name, seq=trigger.seq)
+            self._window = None
+            if self._deferred_slot_switch:
+                self._deferred_slot_switch = False
+                self._slot_switch()
+                return
+            self._dispatch(self._partitions[self.scheduler.current_owner])
+            self.intc.unmask_all()
+
+        self.engine.schedule(c_ctx, exited)
+
+    # ------------------------------------------------------------------
+    # TDMA slot switching
+    # ------------------------------------------------------------------
+
+    def _slot_switch(self) -> None:
+        now = self.engine.now
+        if self._window is not None:
+            # The host slot ended while a foreign bottom handler was
+            # interposed: suspend the window.  Any unfinished remainder
+            # stays at the head of the subscriber's queue and completes
+            # in its home slot; the exit context switch is subsumed in
+            # the slot switch below.
+            window = self._window
+            self.stats.windows_suspended += 1
+            event = window.active_event
+            if event is not None:
+                if event.bh_remaining == 0:
+                    # Completed exactly at the boundary instant.
+                    self._complete_event(event, window.subscriber,
+                                         in_window=True)
+                else:
+                    event.enforced_cut = True
+                    self.trace.emit(now, TraceKind.BOTTOM_HANDLER_PREEMPTED,
+                                    source=event.source.name, seq=event.seq,
+                                    remaining=event.bh_remaining,
+                                    reason="slot_boundary")
+            self.trace.emit(now, TraceKind.INTERPOSE_END,
+                            source=window.trigger.source.name,
+                            seq=window.trigger.seq, suspended=True)
+            self._window = None
+        previous = self.scheduler.current_owner
+        slot = self.scheduler.advance(now)
+        self.trace.emit(now, TraceKind.SLOT_SWITCH,
+                        previous=previous, next=slot.partition)
+        c_ctx = self.context_switches.switch(SwitchReason.SLOT)
+        self.trace.emit(now, TraceKind.CONTEXT_SWITCH,
+                        reason=SwitchReason.SLOT.value)
+
+        def switched() -> None:
+            self.cpu.charge_overhead(c_ctx)
+            partition = self._partitions[slot.partition]
+            partition.slots_entered += 1
+            if self._ipc_router is not None:
+                self._ipc_router.on_slot_entered(partition, self.engine.now)
+            self._schedule_boundary(self.scheduler.next_boundary())
+            self._dispatch(partition)
+            self.intc.unmask_all()
+
+        self.engine.schedule(c_ctx, switched)
+
+    def _schedule_boundary(self, boundary: int) -> None:
+        at = max(boundary, self.engine.now)
+        self.engine.schedule_at(at, lambda: self.intc.raise_line(self._slot_line),
+                                label="tdma-boundary")
+
+    # ------------------------------------------------------------------
+    # Partition dispatch (the partition-context dispatcher of Fig. 2)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, partition: Partition) -> None:
+        """Pick what the partition runs now (CPU must be free).
+
+        Pending IRQ events take priority over regular processing
+        (Fig. 2: the partition calls the bottom handler for pending
+        IRQs before resuming from the last interruption point).
+        """
+        head = partition.irq_queue.head()
+        while head is not None and head.bh_remaining == 0:
+            # Zero-demand events complete without occupying the CPU.
+            self._complete_event(head, partition)
+            head = partition.irq_queue.head()
+        if head is not None:
+            self._start_home_bottom_handler(partition, head)
+            return
+        job = partition.guest.pick() if partition.guest is not None else None
+        if job is not None:
+            self._start_guest_job(partition, job)
+            return
+        if partition.busy_background:
+            self.cpu.assign(Execution(
+                label=f"background:{partition.name}",
+                remaining=None,
+                category=f"task:{partition.name}",
+            ))
+            return
+        self.trace.emit(self.engine.now, TraceKind.IDLE, partition=partition.name)
+        self.cpu.assign(Execution(
+            label=f"idle:{partition.name}",
+            remaining=None,
+            category=f"idle:{partition.name}",
+        ))
+
+    def _start_home_bottom_handler(self, partition: Partition,
+                                   event: IrqEvent) -> None:
+        self.trace.emit(self.engine.now, TraceKind.BOTTOM_HANDLER_START,
+                        source=event.source.name, seq=event.seq,
+                        mode="home")
+        execution = Execution(
+            label=f"bh:{event.source.name}#{event.seq}",
+            remaining=event.bh_remaining,
+            on_complete=lambda: self._home_bh_done(partition, event),
+            category=f"bh:{partition.name}",
+            owner=event,
+        )
+        self.cpu.assign(execution)
+
+    def _home_bh_done(self, partition: Partition, event: IrqEvent) -> None:
+        event.bh_remaining = 0
+        self._complete_event(event, partition)
+        self._dispatch(partition)
+
+    def _start_guest_job(self, partition: Partition, job: GuestJob) -> None:
+        if job.first_start is None:
+            job.first_start = self.engine.now
+            self.trace.emit(self.engine.now, TraceKind.TASK_START,
+                            partition=partition.name, task=job.task.name,
+                            seq=job.seq)
+        on_complete = None
+        if job.remaining is not None:
+            on_complete = lambda: self._guest_job_done(partition, job)
+        execution = Execution(
+            label=f"job:{job.task.name}#{job.seq}",
+            remaining=job.remaining,
+            on_complete=on_complete,
+            category=f"task:{partition.name}",
+            owner=job,
+        )
+        self.cpu.assign(execution)
+
+    def _guest_job_done(self, partition: Partition, job: GuestJob) -> None:
+        job.remaining = 0
+        now = self.engine.now
+        partition.guest.job_finished(job, now)
+        self.trace.emit(now, TraceKind.TASK_END, partition=partition.name,
+                        task=job.task.name, seq=job.seq)
+        if job.missed_deadline:
+            self.trace.emit(now, TraceKind.DEADLINE_MISS,
+                            partition=partition.name, task=job.task.name,
+                            seq=job.seq,
+                            overrun=now - job.absolute_deadline)
+        self._dispatch(partition)
+
+    def _notify_work(self, partition_name: str) -> None:
+        """A guest job became ready; preempt lower-priority work if the
+        partition is currently executing."""
+        current = self.cpu.current
+        if current is None or self._window is not None:
+            return
+        if self.scheduler.current_owner != partition_name:
+            return
+        partition = self._partitions[partition_name]
+        owner = current.owner
+        if isinstance(owner, IrqEvent) or isinstance(owner, _InterposeWindow):
+            return  # bottom handlers outrank guest tasks
+        best = partition.guest.pick() if partition.guest is not None else None
+        if best is None:
+            return
+        if isinstance(owner, GuestJob):
+            if (best.task.priority, best.seq) >= (owner.task.priority, owner.seq):
+                return
+        elif not current.category.startswith(("task:", "idle:")):
+            return
+        preempted = self.cpu.preempt()
+        if preempted is not None:
+            self._reconcile(preempted)
+        self._dispatch(partition)
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    def _resume(self) -> None:
+        """Return from hypervisor context to the interrupted activity."""
+        if self._window is not None:
+            self._assign_window_execution()
+        else:
+            self._dispatch(self._partitions[self.scheduler.current_owner])
+        self.intc.unmask_all()
+
+    def _reconcile(self, execution: Execution) -> None:
+        """Propagate consumed cycles from a stopped execution to its owner."""
+        owner = execution.owner
+        if isinstance(owner, _InterposeWindow):
+            consumed = execution.executed
+            event = owner.active_event
+            assert event is not None
+            event.bh_remaining -= consumed
+            owner.budget_remaining -= consumed
+            if consumed > 0 and not owner.pseudo:
+                now = self.engine.now
+                self._record_interference(now - consumed, now, event.source,
+                                          InterferenceKind.INTERPOSED_BH)
+            owner.current_execution = None
+            if event.bh_remaining == 0:
+                # Preempted at the exact completion instant: the bottom
+                # handler is done, record it now.
+                self._complete_event(event, owner.subscriber, in_window=True)
+                owner.active_event = None
+        elif isinstance(owner, IrqEvent):
+            if execution.remaining is not None:
+                owner.bh_remaining = execution.remaining
+            if owner.bh_remaining == 0:
+                self._complete_event(
+                    owner, self._partitions[owner.source.subscriber]
+                )
+        elif isinstance(owner, GuestJob):
+            owner.remaining = execution.remaining
+
+    def _complete_event(self, event: IrqEvent, partition: Partition,
+                        in_window: bool = False) -> None:
+        head = partition.irq_queue.pop()
+        if head is not event:
+            raise AssertionError(
+                f"FIFO violation: completed {event!r} but queue head was {head!r}"
+            )
+        now = self.engine.now
+        event.completed_at = now
+        partition.bottom_handlers_completed += 1
+        foreign_window = (
+            in_window
+            and self._window is not None
+            and not self._window.pseudo
+        )
+        mode = self._final_mode(event, foreign_window)
+        event.mode = mode
+        self.trace.emit(now, TraceKind.BOTTOM_HANDLER_END,
+                        source=event.source.name, seq=event.seq,
+                        mode=mode.value, latency=event.latency)
+        self.latency_records.append(LatencyRecord(
+            source=event.source.name,
+            seq=event.seq,
+            arrival=event.arrival,
+            completed_at=now,
+            mode=mode,
+            enforced_cut=event.enforced_cut,
+        ))
+        if event.source.activates_task is not None:
+            if partition.guest is None:
+                raise RuntimeError(
+                    f"IRQ source {event.source.name!r} activates task "
+                    f"{event.source.activates_task!r} but partition "
+                    f"{partition.name!r} has no guest kernel"
+                )
+            partition.guest.release_task(event.source.activates_task)
+
+    @staticmethod
+    def _final_mode(event: IrqEvent, in_window: bool) -> HandlingMode:
+        """Classify an IRQ by where its bottom handler completed.
+
+        The Fig. 6 histograms cluster IRQs by their effective handling
+        path: *interposed* if the bottom handler finished inside a
+        foreign-slot window (regardless of which arrival triggered the
+        window), *direct* if it arrived during the subscriber's own
+        slot and completed there, and *delayed* otherwise (including
+        interposed executions that enforcement cut short).
+        """
+        if in_window:
+            return HandlingMode.INTERPOSED
+        if event.mode is HandlingMode.DIRECT:
+            return HandlingMode.DIRECT
+        return HandlingMode.DELAYED
+
+    def _record_interference(self, start: int, end: int,
+                             source: IrqSource, kind: InterferenceKind) -> None:
+        """Record foreign activity against the *nominal* slot owners.
+
+        The victim of an interval is whoever is entitled to the CPU on
+        the fixed TDMA grid at that moment (intervals spanning a
+        nominal boundary — e.g. a deferred slot switch — are split).
+        Activity that lands in the subscriber's own nominal slot is not
+        interference and is not recorded.
+        """
+        if end <= start:
+            return
+        position = start
+        while position < end:
+            owner = self.scheduler.owner_at(position)
+            boundary = self.scheduler.next_nominal_boundary_after(position)
+            piece_end = min(end, boundary)
+            if owner != source.subscriber:
+                self.ledger.record(position, piece_end, victim=owner,
+                                   source=source.name, kind=kind)
+            position = piece_end
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypervisor(partitions={list(self._partitions)}, "
+            f"t={self.engine.now}, irqs={self.stats.irqs_delivered})"
+        )

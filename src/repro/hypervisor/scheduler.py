@@ -1,0 +1,168 @@
+"""Static TDMA partition scheduler.
+
+Partitions are assigned fixed-length time slots; the hypervisor cycles
+through the slot table in a static order (Section 3).  Unused capacity
+of a slot is left unused — never donated to other partitions — which is
+what makes the temporal properties of one partition independent of the
+execution behaviour of the others.
+
+Slot boundaries are *nominal* (absolute multiples within the table):
+even when delivery of the slot-timer interrupt is delayed by a masked
+hypervisor section, subsequent boundaries stay on the fixed grid, so
+the schedule never drifts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hypervisor.config import SlotConfig
+
+
+class TdmaScheduler:
+    """Cyclic executive over a static slot table."""
+
+    def __init__(self, slots: Sequence[SlotConfig]):
+        if not slots:
+            raise ValueError("TDMA slot table must not be empty")
+        self._slots = list(slots)
+        self._cycle_length = sum(slot.length_cycles for slot in self._slots)
+        self._index = 0
+        self._nominal_start = 0
+        self._epoch = 0
+        self._started = False
+        self._slots_skipped = 0
+        # Cumulative slot-end offsets within one cycle (last == cycle length).
+        self._end_offsets: list[int] = []
+        position = 0
+        for slot in self._slots:
+            position += slot.length_cycles
+            self._end_offsets.append(position)
+
+    # ------------------------------------------------------------------
+    # Static table queries (used by the analysis as well)
+    # ------------------------------------------------------------------
+
+    @property
+    def slots(self) -> list[SlotConfig]:
+        return list(self._slots)
+
+    @property
+    def cycle_length(self) -> int:
+        """``T_TDMA`` — the sum of all slot lengths."""
+        return self._cycle_length
+
+    def slot_length(self, partition: str) -> int:
+        """``T_i`` — total slot time of a partition per TDMA cycle."""
+        total = sum(
+            slot.length_cycles for slot in self._slots if slot.partition == partition
+        )
+        if total == 0:
+            raise KeyError(f"partition {partition!r} has no slot in the table")
+        return total
+
+    def partitions(self) -> list[str]:
+        """Distinct partition names in table order."""
+        seen: list[str] = []
+        for slot in self._slots:
+            if slot.partition not in seen:
+                seen.append(slot.partition)
+        return seen
+
+    def owner_at(self, time: int) -> str:
+        """Partition that *nominally* owns the slot at absolute time ``time``.
+
+        Nominal ownership follows the fixed TDMA grid (anchored at the
+        schedule's start epoch) regardless of any delivery jitter of
+        the slot-timer interrupt.
+        """
+        if time < self._epoch:
+            raise ValueError(f"time {time} precedes schedule epoch {self._epoch}")
+        offset = (time - self._epoch) % self._cycle_length
+        for slot in self._slots:
+            if offset < slot.length_cycles:
+                return slot.partition
+            offset -= slot.length_cycles
+        raise AssertionError("unreachable: offset exceeded cycle length")
+
+    def next_nominal_boundary_after(self, time: int) -> int:
+        """First nominal slot boundary strictly after ``time``."""
+        if time < self._epoch:
+            raise ValueError(f"time {time} precedes schedule epoch {self._epoch}")
+        relative = time - self._epoch
+        base = (relative // self._cycle_length) * self._cycle_length
+        within = relative - base
+        for end in self._end_offsets:
+            if end > within:
+                return self._epoch + base + end
+        raise AssertionError("unreachable: within-cycle offset past cycle end")
+
+    def slot_start_offsets(self) -> list[int]:
+        """Nominal start offset of each table entry within the cycle."""
+        offsets = []
+        position = 0
+        for slot in self._slots:
+            offsets.append(position)
+            position += slot.length_cycles
+        return offsets
+
+    # ------------------------------------------------------------------
+    # Runtime state (driven by the hypervisor)
+    # ------------------------------------------------------------------
+
+    def start(self, t0: int) -> int:
+        """Begin the schedule at ``t0``; returns the first boundary time."""
+        self._started = True
+        self._index = 0
+        self._nominal_start = t0
+        self._epoch = t0
+        return self.next_boundary()
+
+    @property
+    def current_slot(self) -> SlotConfig:
+        return self._slots[self._index]
+
+    @property
+    def current_owner(self) -> str:
+        return self._slots[self._index].partition
+
+    @property
+    def nominal_slot_start(self) -> int:
+        """Nominal start time of the current slot."""
+        return self._nominal_start
+
+    def next_boundary(self) -> int:
+        """Nominal end time of the current slot."""
+        return self._nominal_start + self._slots[self._index].length_cycles
+
+    def advance(self, now: Optional[int] = None) -> SlotConfig:
+        """Move to the next slot (wrapping around the table).
+
+        If ``now`` is given and delivery was so late that one or more
+        whole nominal slots have already elapsed, those slots are
+        skipped (and counted) so the schedule stays on the nominal
+        grid.
+        """
+        if not self._started:
+            raise RuntimeError("scheduler not started")
+        self._step()
+        if now is not None:
+            while self.next_boundary() <= now:
+                self._step()
+                self._slots_skipped += 1
+        return self.current_slot
+
+    @property
+    def slots_skipped(self) -> int:
+        """Slots skipped entirely due to late boundary delivery."""
+        return self._slots_skipped
+
+    def _step(self) -> None:
+        self._nominal_start += self._slots[self._index].length_cycles
+        self._index = (self._index + 1) % len(self._slots)
+
+    def __repr__(self) -> str:
+        table = ", ".join(
+            f"{slot.partition}:{slot.length_cycles}" for slot in self._slots
+        )
+        return f"TdmaScheduler([{table}], T_TDMA={self._cycle_length})"

@@ -1,0 +1,54 @@
+"""Measurement post-processing: histograms (Fig. 6), running averages
+and summaries (Fig. 7), and text report rendering."""
+
+from repro.metrics.export import (
+    read_records_json,
+    write_histogram_csv,
+    write_latency_csv,
+    write_records_json,
+    write_series_csv,
+)
+from repro.metrics.histogram import HistogramBin, LatencyHistogram, fig6_histogram
+from repro.metrics.report import (
+    render_mode_breakdown,
+    render_series,
+    render_table,
+)
+from repro.metrics.stats import (
+    LatencySummary,
+    improvement_factor,
+    percentile,
+    running_average,
+    summarize,
+)
+from repro.metrics.timeline import (
+    TimelineMark,
+    lane_of,
+    occupancy_by_lane,
+    render_gantt,
+    segments_between,
+)
+
+__all__ = [
+    "read_records_json",
+    "write_histogram_csv",
+    "write_latency_csv",
+    "write_records_json",
+    "write_series_csv",
+    "HistogramBin",
+    "LatencyHistogram",
+    "fig6_histogram",
+    "render_mode_breakdown",
+    "render_series",
+    "render_table",
+    "LatencySummary",
+    "improvement_factor",
+    "percentile",
+    "running_average",
+    "summarize",
+    "TimelineMark",
+    "lane_of",
+    "occupancy_by_lane",
+    "render_gantt",
+    "segments_between",
+]

@@ -1,0 +1,87 @@
+"""Text rendering of experiment results (paper-style tables/figures)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: "str | None" = None) -> str:
+    """Render an aligned text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_mode_breakdown(counts: Mapping[str, int]) -> str:
+    """Render handling-mode counts with percentages, e.g.
+    ``direct 40.1% (6010), interposed 39.8% (5968), delayed 20.1% (3022)``.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return "(no IRQs recorded)"
+    parts = []
+    for mode in ("direct", "interposed", "delayed"):
+        if mode in counts:
+            count = counts[mode]
+            parts.append(f"{mode} {100.0 * count / total:.1f}% ({count})")
+    for mode, count in counts.items():
+        if mode not in ("direct", "interposed", "delayed"):
+            parts.append(f"{mode} {100.0 * count / total:.1f}% ({count})")
+    return ", ".join(parts)
+
+
+def render_series(series: Sequence[float], width: int = 72,
+                  height: int = 16, label: str = "") -> str:
+    """Coarse ASCII line plot of a series (the Fig. 7 presentation)."""
+    if not series:
+        return "(empty series)"
+    lo = min(series)
+    hi = max(series)
+    span = (hi - lo) or 1.0
+    # Downsample to `width` columns.
+    columns = []
+    n = len(series)
+    for c in range(width):
+        start = c * n // width
+        end = max(start + 1, (c + 1) * n // width)
+        chunk = series[start:end]
+        columns.append(sum(chunk) / len(chunk))
+    grid = [[" "] * width for _ in range(height)]
+    for c, value in enumerate(columns):
+        row = int((value - lo) / span * (height - 1))
+        grid[height - 1 - row][c] = "*"
+    lines = [f"{label}  (min={lo:.1f}, max={hi:.1f})"] if label else []
+    for r, row in enumerate(grid):
+        axis = hi - r * span / (height - 1)
+        lines.append(f"{axis:>10.1f} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    return "\n".join(lines)

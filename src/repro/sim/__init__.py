@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate.
+
+This package provides the "hardware platform" of the reproduction: a
+deterministic event engine, an integer-cycle clock, a latching
+interrupt controller, programmable timers, a single-core CPU execution
+model and a trace recorder.  The hypervisor in
+:mod:`repro.hypervisor` is built entirely on these primitives.
+"""
+
+from repro.sim.clock import Clock, DEFAULT_FREQUENCY_HZ
+from repro.sim.cpu import Cpu, CpuBusyError, CpuSegment, Execution
+from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.events import EventHandle
+from repro.sim.intc import InterruptController
+from repro.sim.timers import IntervalSequenceTimer, OneShotTimer, TimestampTimer
+from repro.sim.trace import TraceEvent, TraceKind, TraceRecorder
+
+__all__ = [
+    "Clock",
+    "DEFAULT_FREQUENCY_HZ",
+    "Cpu",
+    "CpuBusyError",
+    "CpuSegment",
+    "Execution",
+    "SimulationEngine",
+    "SimulationError",
+    "EventHandle",
+    "InterruptController",
+    "IntervalSequenceTimer",
+    "OneShotTimer",
+    "TimestampTimer",
+    "TraceEvent",
+    "TraceKind",
+    "TraceRecorder",
+]

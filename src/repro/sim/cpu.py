@@ -1,0 +1,234 @@
+"""Single-core CPU execution model.
+
+The CPU runs at most one :class:`Execution` at a time.  An execution is
+a preemptible piece of work with a (possibly unbounded) cycle budget;
+the hypervisor assigns executions for guest tasks, bottom handlers and
+the idle loop, and preempts them when interrupts or slot boundaries
+arrive.  Hypervisor code itself (top handlers, scheduler, context
+switches) runs with interrupts masked and is modelled as timed event
+chains rather than executions, mirroring a real microkernel's
+non-preemptible sections.
+
+Accounting invariant: every consumed cycle is charged to exactly one
+execution, and the per-category totals plus hypervisor overhead cycles
+always sum to elapsed simulation time.  Tests rely on this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventHandle
+
+
+class Execution:
+    """A preemptible unit of work.
+
+    Parameters
+    ----------
+    label:
+        Human-readable name used in traces.
+    remaining:
+        Cycle budget; ``None`` means unbounded (idle loops, background
+        tasks that never finish).
+    on_complete:
+        Callback fired when the budget reaches zero while on the CPU.
+    category:
+        Accounting bucket (e.g. ``"partition:P1"``, ``"bh:P2"``,
+        ``"idle"``) used for utilization statistics.
+    owner:
+        Arbitrary back-reference for the component that created this
+        execution (partition, guest job, interpose window, ...).
+    """
+
+    __slots__ = ("label", "remaining", "on_complete", "category", "owner", "executed")
+
+    def __init__(self, label: str, remaining: Optional[int],
+                 on_complete: Optional[Callable[[], None]] = None,
+                 category: str = "other", owner: Any = None):
+        if remaining is not None and remaining < 0:
+            raise ValueError(f"execution budget must be >= 0, got {remaining}")
+        self.label = label
+        self.remaining = remaining
+        self.on_complete = on_complete
+        self.category = category
+        self.owner = owner
+        self.executed = 0
+
+    @property
+    def finished(self) -> bool:
+        """True once a bounded execution has consumed its whole budget."""
+        return self.remaining == 0
+
+    def __repr__(self) -> str:
+        budget = "inf" if self.remaining is None else str(self.remaining)
+        return f"Execution({self.label}, remaining={budget}, executed={self.executed})"
+
+
+class CpuBusyError(RuntimeError):
+    """Raised when assigning work to a CPU that is already running."""
+
+
+class CpuSegment:
+    """One contiguous stint of CPU occupancy (for timeline rendering)."""
+
+    __slots__ = ("start", "end", "category", "label")
+
+    def __init__(self, start: int, end: int, category: str, label: str):
+        self.start = start
+        self.end = end
+        self.category = category
+        self.label = label
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return f"CpuSegment({self.start}..{self.end}, {self.category}, {self.label})"
+
+
+class Cpu:
+    """A single core executing one :class:`Execution` at a time.
+
+    With ``record_segments=True`` every charged stint (execution or
+    hypervisor overhead) is appended to :attr:`segments`, enabling
+    Gantt-style timeline rendering (see :mod:`repro.metrics.timeline`).
+    """
+
+    def __init__(self, engine: SimulationEngine, record_segments: bool = False):
+        self._engine = engine
+        self._current: Optional[Execution] = None
+        self._started_at: int = 0
+        self._completion: Optional[EventHandle] = None
+        self._consumed_by_category: dict[str, int] = {}
+        self.segments: Optional[list[CpuSegment]] = (
+            [] if record_segments else None
+        )
+
+    @property
+    def current(self) -> Optional[Execution]:
+        """The execution currently on the CPU, if any."""
+        return self._current
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    def assign(self, execution: Execution) -> None:
+        """Start (or resume) running ``execution``.
+
+        The CPU must be free; callers preempt the current execution
+        first.  A bounded execution completes after ``remaining``
+        cycles unless preempted earlier.
+        """
+        if self._current is not None:
+            raise CpuBusyError(
+                f"CPU busy with {self._current.label}; preempt before assigning "
+                f"{execution.label}"
+            )
+        if execution.finished:
+            # Zero-budget work completes immediately without occupying
+            # the CPU; this keeps degenerate configurations (C_BH = 0)
+            # well-defined.
+            if execution.on_complete is not None:
+                execution.on_complete()
+            return
+        self._current = execution
+        self._started_at = self._engine.now
+        if execution.remaining is not None:
+            self._completion = self._engine.schedule(
+                execution.remaining, self._complete, label=f"complete-{execution.label}"
+            )
+        else:
+            self._completion = None
+
+    def preempt(self) -> Optional[Execution]:
+        """Stop the current execution, charging elapsed cycles to it.
+
+        Returns the preempted execution (with its ``remaining`` budget
+        reduced) or ``None`` if the CPU was idle.
+        """
+        if self._current is None:
+            return None
+        execution = self._current
+        self._charge(execution)
+        if self._completion is not None:
+            self._completion.cancel()
+        self._current = None
+        self._completion = None
+        return execution
+
+    def charge_overhead(self, cycles: int, category: str = "hypervisor") -> None:
+        """Account cycles consumed by non-execution (hypervisor) code.
+
+        The CPU must be free: hypervisor chains run between preempt()
+        and the next assign().
+        """
+        if cycles < 0:
+            raise ValueError(f"overhead must be >= 0, got {cycles}")
+        if self._current is not None:
+            raise CpuBusyError("cannot charge overhead while an execution is running")
+        self._bump(category, cycles)
+        if self.segments is not None and cycles > 0:
+            now = self._engine.now
+            self.segments.append(
+                CpuSegment(now - cycles, now, category, category)
+            )
+
+    def consumed(self, category: str) -> int:
+        """Total cycles charged to an accounting category."""
+        return self._consumed_by_category.get(category, 0)
+
+    @property
+    def consumed_by_category(self) -> dict[str, int]:
+        """Copy of the full accounting table."""
+        return dict(self._consumed_by_category)
+
+    def total_consumed(self) -> int:
+        """Sum of all charged cycles (executions + overhead)."""
+        return sum(self._consumed_by_category.values())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _charge(self, execution: Execution) -> None:
+        elapsed = self._engine.now - self._started_at
+        if elapsed == 0:
+            return
+        execution.executed += elapsed
+        if execution.remaining is not None:
+            if elapsed > execution.remaining:
+                raise RuntimeError(
+                    f"{execution.label} charged {elapsed} cycles with only "
+                    f"{execution.remaining} remaining (engine bug)"
+                )
+            execution.remaining -= elapsed
+        self._bump(execution.category, elapsed)
+        if self.segments is not None:
+            self.segments.append(CpuSegment(
+                self._started_at, self._engine.now,
+                execution.category, execution.label,
+            ))
+        self._started_at = self._engine.now
+
+    def _bump(self, category: str, cycles: int) -> None:
+        self._consumed_by_category[category] = (
+            self._consumed_by_category.get(category, 0) + cycles
+        )
+
+    def _complete(self) -> None:
+        execution = self._current
+        assert execution is not None, "completion fired on idle CPU"
+        self._charge(execution)
+        assert execution.remaining == 0, "completion fired early"
+        self._current = None
+        self._completion = None
+        if execution.on_complete is not None:
+            execution.on_complete()
+
+    def __repr__(self) -> str:
+        running = self._current.label if self._current else "idle"
+        return f"Cpu(running={running})"

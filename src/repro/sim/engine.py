@@ -1,0 +1,154 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event-driven kernel: a binary heap of
+timestamped callbacks with stable FIFO ordering for simultaneous
+events, lazy cancellation, and bounded-run helpers.  All timestamps
+are integer CPU cycles (see :mod:`repro.sim.clock`).
+
+The engine is deliberately free of any domain knowledge; the
+hypervisor, timers and interrupt controller are built on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.events import EventHandle
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid use of the simulation engine."""
+
+
+class SimulationEngine:
+    """Deterministic discrete-event simulation core.
+
+    Events scheduled for the same timestamp fire in scheduling order
+    (stable FIFO), which makes simulations reproducible regardless of
+    heap internals.
+    """
+
+    def __init__(self):
+        self._heap: list[EventHandle] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._events_executed: int = 0
+        self._running = False
+        self._stop_requested = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of event callbacks executed so far."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled-but-not-yet-fired events (including cancelled)."""
+        return sum(1 for ev in self._heap if ev.pending)
+
+    def schedule(self, delay: int, callback: Callable[[], Any],
+                 label: Optional[str] = None) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(self, time: int, callback: Callable[[], Any],
+                    label: Optional[str] = None) -> EventHandle:
+        """Schedule ``callback`` to run at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (t={time}, now={self._now})"
+            )
+        handle = EventHandle(time, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns True if an event was executed, False if the queue was
+        exhausted (only cancelled or no events remained).
+        """
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            handle._mark_fired()
+            self._events_executed += 1
+            handle.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue is empty (or ``max_events`` fired).
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        self._running = True
+        self._stop_requested = False
+        try:
+            while not self._stop_requested:
+                if max_events is not None and executed >= max_events:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def run_until(self, time: int) -> int:
+        """Run all events with timestamps <= ``time``; advance clock to ``time``.
+
+        Returns the number of events executed by this call.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards (t={time}, now={self._now})")
+        executed = 0
+        self._running = True
+        self._stop_requested = False
+        try:
+            while not self._stop_requested:
+                handle = self._next_pending()
+                if handle is None or handle.time > time:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if not self._stop_requested:
+            self._now = max(self._now, time)
+        return executed
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run`/:meth:`run_until` stop
+        after the in-flight event completes."""
+        self._stop_requested = True
+
+    def _next_pending(self) -> Optional[EventHandle]:
+        """Peek the earliest non-cancelled event, discarding dead entries."""
+        while self._heap:
+            handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return handle
+        return None
+
+    def peek_next_time(self) -> Optional[int]:
+        """Timestamp of the next pending event, or None if queue is empty."""
+        handle = self._next_pending()
+        return None if handle is None else handle.time
+
+    def __repr__(self) -> str:
+        return f"SimulationEngine(now={self._now}, pending={self.pending_events})"

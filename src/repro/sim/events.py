@@ -1,0 +1,62 @@
+"""Event records and handles for the discrete-event engine.
+
+The engine hands out :class:`EventHandle` objects when callbacks are
+scheduled.  A handle can be cancelled, which marks the underlying heap
+entry dead without the cost of removing it from the heap (lazy
+deletion).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled simulation event.
+
+    Instances are created by :meth:`repro.sim.engine.SimulationEngine.schedule`
+    and friends; user code only ever cancels or inspects them.
+    """
+
+    __slots__ = ("time", "seq", "callback", "label", "_cancelled", "_fired")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], Any],
+                 label: Optional[str] = None):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Cancel the event.  Cancelling an already-fired event is a no-op."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the engine has executed the callback."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting to fire."""
+        return not self._cancelled and not self._fired
+
+    def _mark_fired(self) -> None:
+        self._fired = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        # Heap ordering: by time, then by insertion sequence so that
+        # events scheduled earlier at the same timestamp fire first.
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        name = self.label or getattr(self.callback, "__name__", "callback")
+        return f"EventHandle(t={self.time}, {name}, {state})"

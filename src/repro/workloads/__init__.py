@@ -1,0 +1,48 @@
+"""IRQ workload generation: exponential (Section 6.1) and automotive
+trace (Appendix A substitute) workloads, plus trace containers."""
+
+from repro.workloads.automotive import (
+    AutomotiveTraceConfig,
+    DEFAULT_PERIODIC_SOURCES,
+    DEFAULT_SPORADIC_SOURCES,
+    PeriodicActivationSource,
+    SporadicActivationSource,
+    generate_automotive_trace,
+)
+from repro.workloads.synthetic import (
+    bursty_interarrivals,
+    clip_to_dmin,
+    exponential_interarrivals,
+    exponential_trace,
+    lambda_for_load,
+)
+from repro.workloads.traces import ActivationTrace
+from repro.workloads.transforms import (
+    add_jitter,
+    merge,
+    offset,
+    scale,
+    thin,
+    window,
+)
+
+__all__ = [
+    "AutomotiveTraceConfig",
+    "DEFAULT_PERIODIC_SOURCES",
+    "DEFAULT_SPORADIC_SOURCES",
+    "PeriodicActivationSource",
+    "SporadicActivationSource",
+    "generate_automotive_trace",
+    "bursty_interarrivals",
+    "clip_to_dmin",
+    "exponential_interarrivals",
+    "exponential_trace",
+    "lambda_for_load",
+    "ActivationTrace",
+    "add_jitter",
+    "merge",
+    "offset",
+    "scale",
+    "thin",
+    "window",
+]

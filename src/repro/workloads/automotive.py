@@ -1,0 +1,146 @@
+"""Synthetic automotive ECU activation trace (Appendix A substitute).
+
+The paper's Appendix A uses a measured task-activation trace from an
+automotive ECU (~11000 activations); each activation is assumed to
+generate an IRQ for a hypervisor partition (e.g. via CAN or Ethernet).
+The measured trace is not available, so we synthesize the closest
+equivalent: a superposition of jittered periodic tasks with typical
+automotive periods (1/5/10/20/50/100 ms rate-group structure) plus a
+sporadic event channel.  What the Appendix-A mechanism exercises is a
+bursty, non-Poisson distance profile that the self-learning δ⁻ monitor
+can learn and that the 25 %/12.5 %/6.25 % load bounds then clip — the
+superposition reproduces exactly that structure (simultaneous releases
+of several rate groups create the small-distance bursts, the base
+periods the long tail).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.clock import Clock
+from repro.workloads.traces import ActivationTrace
+
+
+@dataclass(frozen=True)
+class PeriodicActivationSource:
+    """One periodic contributor to the ECU trace."""
+
+    name: str
+    period_us: float
+    jitter_us: float = 0.0
+    offset_us: float = 0.0
+
+    def __post_init__(self):
+        if self.period_us <= 0:
+            raise ValueError(f"period must be positive, got {self.period_us}")
+        if self.jitter_us < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter_us}")
+        if self.offset_us < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset_us}")
+
+
+@dataclass(frozen=True)
+class SporadicActivationSource:
+    """A sporadic contributor (e.g. event-triggered CAN frames)."""
+
+    name: str
+    mean_interarrival_us: float
+    min_interarrival_us: float
+
+    def __post_init__(self):
+        if self.mean_interarrival_us <= 0:
+            raise ValueError("mean interarrival must be positive")
+        if not 0 < self.min_interarrival_us <= self.mean_interarrival_us:
+            raise ValueError(
+                "min interarrival must be positive and <= mean"
+            )
+
+
+#: A typical body ECU rate-group structure with staggered offsets.
+#: Rates sum to ~110 activations/s, so ~100 s of operation yields the
+#: Appendix-A trace size of ~11000 activations; occasional
+#: near-coincident releases produce the small-distance bursts the
+#: learning monitor keys on, while most gaps stay in the
+#: millisecond range (so the Fig. 7 load bounds deny the
+#: paper-consistent fractions of the trace).
+DEFAULT_PERIODIC_SOURCES: tuple[PeriodicActivationSource, ...] = (
+    PeriodicActivationSource("can_rx_fast", period_us=20_000, jitter_us=400),
+    PeriodicActivationSource("can_rx_slow", period_us=50_000, jitter_us=800,
+                             offset_us=3_000),
+    PeriodicActivationSource("sensor_fusion", period_us=100_000,
+                             jitter_us=1_500, offset_us=7_000),
+    PeriodicActivationSource("diagnostics", period_us=200_000,
+                             jitter_us=3_000, offset_us=13_000),
+)
+
+DEFAULT_SPORADIC_SOURCES: tuple[SporadicActivationSource, ...] = (
+    SporadicActivationSource("driver_events", mean_interarrival_us=40_000,
+                             min_interarrival_us=1_000),
+)
+
+
+@dataclass
+class AutomotiveTraceConfig:
+    """Configuration of the synthetic ECU trace generator."""
+
+    periodic: Sequence[PeriodicActivationSource] = DEFAULT_PERIODIC_SOURCES
+    sporadic: Sequence[SporadicActivationSource] = DEFAULT_SPORADIC_SOURCES
+    #: Target number of activations (the paper's trace has ~11000).
+    activation_count: int = 11_000
+    seed: int = 20140601   # DAC'14 started June 1, 2014
+    #: Minimum distance between merged activations.  Appendix A assumes
+    #: each activation reaches the hypervisor via CAN or Ethernet; a
+    #: CAN frame occupies the bus for ~250 us at 500 kbit/s, so
+    #: coincident task releases arrive serialized by at least a frame
+    #: time.
+    min_separation_us: float = 250.0
+
+
+def generate_automotive_trace(config: "AutomotiveTraceConfig | None" = None,
+                              clock: "Clock | None" = None) -> ActivationTrace:
+    """Generate the synthetic ECU activation trace (times in cycles)."""
+    config = config or AutomotiveTraceConfig()
+    clock = clock or Clock()
+    if config.activation_count < 2:
+        raise ValueError("need at least two activations")
+    rng = random.Random(config.seed)
+
+    rate_per_us = sum(1.0 / src.period_us for src in config.periodic)
+    rate_per_us += sum(1.0 / src.mean_interarrival_us for src in config.sporadic)
+    horizon_us = 1.2 * config.activation_count / rate_per_us
+
+    raw_times_us: list[float] = []
+    for source in config.periodic:
+        t = source.offset_us
+        while t <= horizon_us:
+            jitter = rng.uniform(0.0, source.jitter_us)
+            raw_times_us.append(t + jitter)
+            t += source.period_us
+    for source in config.sporadic:
+        t = 0.0
+        while t <= horizon_us:
+            gap = max(
+                source.min_interarrival_us,
+                rng.expovariate(1.0 / source.mean_interarrival_us),
+            )
+            t += gap
+            raw_times_us.append(t)
+
+    raw_times_us.sort()
+    min_sep = config.min_separation_us
+    merged_us: list[float] = []
+    for t in raw_times_us:
+        if merged_us and t - merged_us[-1] < min_sep:
+            t = merged_us[-1] + min_sep
+        merged_us.append(t)
+
+    selected = merged_us[:config.activation_count]
+    if len(selected) < config.activation_count:
+        raise RuntimeError(
+            f"generator produced only {len(selected)} activations; "
+            "increase the horizon factor or source rates"
+        )
+    return ActivationTrace([clock.us_to_cycles(t) for t in selected])

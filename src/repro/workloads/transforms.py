@@ -1,0 +1,97 @@
+"""Trace transformations.
+
+Utilities for composing IRQ workloads out of existing traces: merging
+several sources onto one line, time-scaling, offsetting, jitter
+injection and windowing.  All transforms are pure (they return new
+traces) and preserve monotonicity by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from repro.workloads.traces import ActivationTrace
+
+
+def merge(*traces: ActivationTrace,
+          min_separation: int = 0) -> ActivationTrace:
+    """Merge several traces into one (sorted) activation stream.
+
+    With ``min_separation > 0``, coincident or near-coincident
+    activations from different traces are serialized at least that far
+    apart (the interrupt controller cannot deliver two requests at the
+    same instant; cf. the automotive generator).
+    """
+    if not traces:
+        raise ValueError("need at least one trace to merge")
+    if min_separation < 0:
+        raise ValueError(f"min separation must be >= 0, got {min_separation}")
+    times = sorted(t for trace in traces for t in trace.times)
+    if min_separation:
+        serialized: list[int] = []
+        for t in times:
+            if serialized and t - serialized[-1] < min_separation:
+                t = serialized[-1] + min_separation
+            serialized.append(t)
+        times = serialized
+    return ActivationTrace(times)
+
+
+def scale(trace: ActivationTrace, factor: float) -> ActivationTrace:
+    """Scale all activation times (and hence gaps) by ``factor``.
+
+    Scaling by 0.5 doubles the event rate; by 2.0 halves it.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    return ActivationTrace([round(t * factor) for t in trace.times])
+
+
+def offset(trace: ActivationTrace, shift: int) -> ActivationTrace:
+    """Shift all activation times by ``shift`` cycles (must stay >= 0)."""
+    times = [t + shift for t in trace.times]
+    if times and times[0] < 0:
+        raise ValueError(
+            f"offset {shift} would move the first activation below zero"
+        )
+    return ActivationTrace(times)
+
+
+def add_jitter(trace: ActivationTrace, max_jitter: int,
+               seed: int) -> ActivationTrace:
+    """Add independent uniform jitter in ``[0, max_jitter]`` per event.
+
+    The jittered stream is re-sorted, so heavy jitter may reorder
+    events — exactly what release jitter does to activation streams.
+    """
+    if max_jitter < 0:
+        raise ValueError(f"jitter must be >= 0, got {max_jitter}")
+    rng = random.Random(seed)
+    times = sorted(t + rng.randint(0, max_jitter) for t in trace.times)
+    return ActivationTrace(times)
+
+
+def window(trace: ActivationTrace, start: int, end: int,
+           rebase: bool = False) -> ActivationTrace:
+    """Keep only activations with ``start <= t < end``.
+
+    With ``rebase=True`` the kept activations are shifted so the
+    window start becomes time zero.
+    """
+    if end <= start:
+        raise ValueError(f"need end > start, got [{start}, {end})")
+    kept = [t for t in trace.times if start <= t < end]
+    if len(kept) < 2:
+        raise ValueError("window keeps fewer than two activations")
+    if rebase:
+        kept = [t - start for t in kept]
+    return ActivationTrace(kept)
+
+
+def thin(trace: ActivationTrace, keep_every: int) -> ActivationTrace:
+    """Keep every ``keep_every``-th activation (rate division)."""
+    if keep_every <= 0:
+        raise ValueError(f"keep_every must be >= 1, got {keep_every}")
+    kept = trace.times[::keep_every]
+    if len(kept) < 2:
+        raise ValueError("thinning keeps fewer than two activations")
+    return ActivationTrace(kept)

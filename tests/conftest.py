@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.monitor import DeltaMinusMonitor
+from repro.core.policy import MonitoredInterposing, NeverInterpose
+from repro.hypervisor.config import HypervisorConfig, SlotConfig
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.irq import IrqSource
+from repro.hypervisor.partition import Partition
+from repro.sim.clock import Clock
+from repro.sim.timers import IntervalSequenceTimer
+
+
+@pytest.fixture
+def clock() -> Clock:
+    """The paper's 200 MHz clock (200 cycles per microsecond)."""
+    return Clock()
+
+
+def us(microseconds: float) -> int:
+    """Microseconds to cycles at 200 MHz (module-level test helper)."""
+    return Clock().us_to_cycles(microseconds)
+
+
+def build_system(subscriber: str = "P1",
+                 policy=None,
+                 intervals=(),
+                 slot_us: float = 1_000.0,
+                 c_th_us: float = 2.0,
+                 c_bh_us: float = 40.0,
+                 partitions: tuple = ("P1", "P2"),
+                 defer: bool = True,
+                 trace: bool = True,
+                 bottom_handler_actual=None,
+                 busy_background: bool = True):
+    """Construct a small two-partition system with one IRQ source.
+
+    Returns ``(hypervisor, timer)``; the caller starts both.
+    """
+    clock = Clock()
+    slots = [SlotConfig(name, clock.us_to_cycles(slot_us)) for name in partitions]
+    config = HypervisorConfig(trace_enabled=trace,
+                              defer_slot_switch_for_window=defer)
+    hv = Hypervisor(slots, config)
+    for name in partitions:
+        hv.add_partition(Partition(name, busy_background=busy_background))
+    source = IrqSource(
+        name="irq",
+        line=5,
+        subscriber=subscriber,
+        top_handler_cycles=clock.us_to_cycles(c_th_us),
+        bottom_handler_cycles=clock.us_to_cycles(c_bh_us),
+        policy=policy if policy is not None else NeverInterpose(),
+        bottom_handler_actual=bottom_handler_actual,
+    )
+    hv.add_irq_source(source)
+    timer = IntervalSequenceTimer(hv.engine, hv.intc, line=5,
+                                  intervals=list(intervals))
+    source.on_top_handler = lambda event: timer.arm_next()
+    return hv, timer
+
+
+def run_system(hv, timer, expected_irqs: int, limit_us: float = 1_000_000.0):
+    """Start and run a built system until all IRQs completed."""
+    hv.start()
+    timer.arm_next()
+    hv.run_until_irq_count(expected_irqs,
+                           limit_cycles=hv.clock.us_to_cycles(limit_us))
+    return hv
+
+
+@pytest.fixture
+def monitored_policy():
+    """A d_min = 500 us monitoring policy."""
+    return MonitoredInterposing(DeltaMinusMonitor.from_dmin(us(500)))

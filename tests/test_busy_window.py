@@ -1,0 +1,117 @@
+"""Tests for the busy-window fixed point and response-time analysis
+(Eqs. 3–5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.busy_window import (
+    NotSchedulableError,
+    busy_time,
+    response_time,
+)
+from repro.analysis.event_models import PeriodicEventModel
+
+
+class TestBusyTime:
+    def test_no_interference(self):
+        assert busy_time(1, 10, lambda w: 0) == 10
+        assert busy_time(5, 10, lambda w: 0) == 50
+
+    def test_constant_interference(self):
+        assert busy_time(2, 10, lambda w: 7) == 27
+
+    def test_classic_rta_fixed_point(self):
+        # Analysed task C=2; interferer C=1, P=4 (textbook example):
+        # W = 2 + ceil(W/4)*1 -> W = 3
+        interferer = PeriodicEventModel(4)
+        w = busy_time(1, 2, lambda win: interferer.eta_plus(win) * 1)
+        assert w == 3
+
+    def test_two_interferers(self):
+        # C=5, hp1: C=2,P=10; hp2: C=3,P=20
+        # W = 5 + 2*ceil(W/10) + 3*ceil(W/20) -> W=10
+        hp1 = PeriodicEventModel(10)
+        hp2 = PeriodicEventModel(20)
+        w = busy_time(1, 5, lambda win: 2 * hp1.eta_plus(win)
+                      + 3 * hp2.eta_plus(win))
+        assert w == 10
+
+    def test_divergence_detected(self):
+        # Interference grows faster than the window: never converges.
+        with pytest.raises(NotSchedulableError):
+            busy_time(1, 10, lambda w: w + 1, horizon=10_000)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            busy_time(0, 10, lambda w: 0)
+
+    def test_invalid_cost(self):
+        with pytest.raises(ValueError):
+            busy_time(1, -1, lambda w: 0)
+
+
+class TestResponseTime:
+    def test_single_activation(self):
+        model = PeriodicEventModel(100)
+        result = response_time(10, model, lambda w: 0)
+        assert result.response_time == 10
+        assert result.q_max == 1
+        assert result.busy_times == (10,)
+
+    def test_multi_activation_busy_window(self):
+        # C=60, P=100: W(1)=60 <= delta(2)=100 -> single activation.
+        model = PeriodicEventModel(100)
+        result = response_time(60, model, lambda w: 0)
+        assert result.q_max == 1
+        assert result.response_time == 60
+
+    def test_overload_spans_activations(self):
+        # C=70 with an interferer making W(1)=110 > P=100 so the busy
+        # window spans multiple activations:
+        # W(q) = 70q + 40 (one-shot blocking interference)
+        model = PeriodicEventModel(100)
+        result = response_time(70, model, lambda w: 40)
+        # W(1)=110 > delta(2)=100 -> q=2: W(2)=180 <= delta(3)=200 stop.
+        assert result.q_max == 2
+        assert result.response_time == max(110 - 0, 180 - 100)
+
+    def test_critical_q(self):
+        model = PeriodicEventModel(100)
+        result = response_time(70, model, lambda w: 40)
+        assert result.critical_q == 1
+
+    def test_busy_time_accessor(self):
+        model = PeriodicEventModel(100)
+        result = response_time(70, model, lambda w: 40)
+        assert result.busy_time(1) == 110
+        assert result.busy_time(2) == 180
+
+    def test_q_limit(self):
+        model = PeriodicEventModel(10)
+        with pytest.raises(NotSchedulableError):
+            # C == P: busy window never ends within the limit
+            response_time(10, model, lambda w: 5, q_limit=50)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    cost=st.integers(min_value=1, max_value=50),
+    period=st.integers(min_value=51, max_value=500),
+    hp_cost=st.integers(min_value=0, max_value=25),
+    hp_period=st.integers(min_value=26, max_value=500),
+)
+def test_property_response_time_bounds_busy_times(cost, period, hp_cost,
+                                                  hp_period):
+    """R >= W(q) - δ(q) for every analysed q, and the task is
+    schedulable when total utilization < 1."""
+    from hypothesis import assume
+    assume(cost / period + hp_cost / hp_period < 0.95)
+    model = PeriodicEventModel(period)
+    interferer = PeriodicEventModel(hp_period)
+    result = response_time(
+        cost, model, lambda w: hp_cost * interferer.eta_plus(w)
+    )
+    for q in range(1, result.q_max + 1):
+        assert result.response_time >= result.busy_time(q) - model.delta_minus(q)
+    assert result.response_time >= cost

@@ -1,0 +1,37 @@
+"""Tests for the context-switch cost model."""
+
+from repro.hypervisor.config import CostModel
+from repro.hypervisor.context import ContextSwitchModel, SwitchReason
+
+
+class TestContextSwitchModel:
+    def test_paper_cost(self):
+        model = ContextSwitchModel(CostModel())
+        assert model.cost_cycles == 10_000   # 5000 instr + 5000 cycles
+
+    def test_switch_returns_cost(self):
+        model = ContextSwitchModel(CostModel())
+        assert model.switch(SwitchReason.SLOT) == 10_000
+
+    def test_counts_by_reason(self):
+        model = ContextSwitchModel(CostModel())
+        model.switch(SwitchReason.SLOT)
+        model.switch(SwitchReason.SLOT)
+        model.switch(SwitchReason.INTERPOSE_ENTER)
+        model.switch(SwitchReason.INTERPOSE_EXIT)
+        assert model.count(SwitchReason.SLOT) == 2
+        assert model.count(SwitchReason.INTERPOSE_ENTER) == 1
+        assert model.total == 4
+        assert model.total_cycles == 40_000
+
+    def test_counts_copy(self):
+        model = ContextSwitchModel(CostModel())
+        model.switch(SwitchReason.SLOT)
+        counts = model.counts
+        counts[SwitchReason.SLOT] = 99
+        assert model.count(SwitchReason.SLOT) == 1
+
+    def test_custom_cost_model(self):
+        costs = CostModel(ctx_invalidate_instructions=100,
+                          ctx_writeback_cycles=50)
+        assert ContextSwitchModel(costs).cost_cycles == 150

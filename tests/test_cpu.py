@@ -1,0 +1,136 @@
+"""Tests for the CPU execution model (charging, preemption, accounting)."""
+
+import pytest
+
+from repro.sim.cpu import Cpu, CpuBusyError, Execution
+from repro.sim.engine import SimulationEngine
+
+
+def make_cpu():
+    engine = SimulationEngine()
+    return engine, Cpu(engine)
+
+
+class TestExecutionLifecycle:
+    def test_bounded_execution_completes(self):
+        engine, cpu = make_cpu()
+        done = []
+        cpu.assign(Execution("work", 100, on_complete=lambda: done.append(engine.now)))
+        engine.run()
+        assert done == [100]
+        assert cpu.current is None
+
+    def test_unbounded_execution_never_completes(self):
+        engine, cpu = make_cpu()
+        cpu.assign(Execution("idle", None))
+        engine.run()
+        assert cpu.busy
+
+    def test_assign_while_busy_raises(self):
+        _, cpu = make_cpu()
+        cpu.assign(Execution("a", None))
+        with pytest.raises(CpuBusyError):
+            cpu.assign(Execution("b", None))
+
+    def test_zero_budget_completes_immediately(self):
+        engine, cpu = make_cpu()
+        done = []
+        cpu.assign(Execution("empty", 0, on_complete=lambda: done.append(True)))
+        assert done == [True]
+        assert not cpu.busy
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Execution("bad", -1)
+
+
+class TestPreemption:
+    def test_preempt_charges_elapsed(self):
+        engine, cpu = make_cpu()
+        work = Execution("work", 100)
+        cpu.assign(work)
+        engine.schedule(30, lambda: None)
+        engine.run_until(30)
+        preempted = cpu.preempt()
+        assert preempted is work
+        assert work.remaining == 70
+        assert work.executed == 30
+
+    def test_preempt_idle_returns_none(self):
+        _, cpu = make_cpu()
+        assert cpu.preempt() is None
+
+    def test_preempt_cancels_completion(self):
+        engine, cpu = make_cpu()
+        done = []
+        work = Execution("work", 100, on_complete=lambda: done.append(True))
+        cpu.assign(work)
+        engine.schedule(30, lambda: None)
+        engine.run_until(30)
+        cpu.preempt()
+        engine.run()
+        assert done == []
+
+    def test_resume_after_preempt(self):
+        engine, cpu = make_cpu()
+        done = []
+        work = Execution("work", 100, on_complete=lambda: done.append(engine.now))
+        cpu.assign(work)
+        engine.run_until(30)
+        cpu.preempt()
+        engine.run_until(50)
+        cpu.assign(work)
+        engine.run()
+        assert done == [120]   # 30 executed + 20 paused + 70 remaining
+        assert work.executed == 100
+
+    def test_preempt_at_exact_completion_instant(self):
+        engine, cpu = make_cpu()
+        done = []
+        work = Execution("work", 100, on_complete=lambda: done.append(True))
+        cpu.assign(work)
+        engine.run_until(100)   # completion event fires at t=100
+        assert done == [True]
+
+
+class TestAccounting:
+    def test_category_accounting(self):
+        engine, cpu = make_cpu()
+        work = Execution("w", 100, category="task:P1")
+        cpu.assign(work)
+        engine.run()
+        assert cpu.consumed("task:P1") == 100
+
+    def test_overhead_accounting(self):
+        _, cpu = make_cpu()
+        cpu.charge_overhead(50)
+        cpu.charge_overhead(25, category="hypervisor")
+        assert cpu.consumed("hypervisor") == 75
+
+    def test_overhead_while_busy_raises(self):
+        _, cpu = make_cpu()
+        cpu.assign(Execution("w", None))
+        with pytest.raises(CpuBusyError):
+            cpu.charge_overhead(10)
+
+    def test_negative_overhead_rejected(self):
+        _, cpu = make_cpu()
+        with pytest.raises(ValueError):
+            cpu.charge_overhead(-1)
+
+    def test_total_consumed_conservation(self):
+        engine, cpu = make_cpu()
+        cpu.assign(Execution("a", 40, category="x"))
+        engine.run()
+        cpu.charge_overhead(10)
+        cpu.assign(Execution("b", 50, category="y"))
+        engine.run()
+        assert cpu.total_consumed() == 100
+        assert engine.now == 90   # overhead is accounted, not simulated here
+
+    def test_consumed_by_category_is_copy(self):
+        _, cpu = make_cpu()
+        cpu.charge_overhead(10)
+        table = cpu.consumed_by_category
+        table["hypervisor"] = 0
+        assert cpu.consumed("hypervisor") == 10

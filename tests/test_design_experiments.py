@@ -1,0 +1,63 @@
+"""Tests for the design workflow and depth-ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    render_depth_ablation,
+    run_depth_ablation,
+)
+from repro.experiments.design import render_design, run_design
+
+
+class TestDesignWorkflow:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_design(irq_count=250)
+
+    def test_analysis_finds_admissible_dmin(self, result):
+        assert result.analytic_min_dmin_us > 0
+        assert result.analytic_schedulable_at_min
+
+    def test_simulation_confirms(self, result):
+        assert result.simulated_misses_at_min == 0
+        assert result.simulation_confirms_analysis
+
+    def test_interposing_actually_happened(self, result):
+        assert result.windows_opened > 0
+
+    def test_bound_dominates_simulation(self, result):
+        assert (result.simulated_max_response_us
+                <= result.analytic_response_bound_us)
+
+    def test_render(self, result):
+        text = render_design(result)
+        assert "minimum admissible d_min" in text
+        assert "yes" in text
+
+
+class TestDepthAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_depth_ablation(activation_count=1_200)
+
+    def test_deep_table_wins_on_bursty_trace(self, result):
+        assert result.deep_monitor_wins
+
+    def test_same_irq_counts(self, result):
+        assert len(result.deep.records) == len(result.shallow.records)
+
+    def test_shallow_denies_bursts(self, result):
+        assert (result.shallow.mode_counts.get("delayed", 0)
+                > result.deep.mode_counts.get("delayed", 0))
+
+    def test_table_structure(self, result):
+        assert len(result.deep_table_us) == 5
+        assert result.deep_table_us == sorted(result.deep_table_us)
+        # the shallow d_min is the deep table's asymptotic rate
+        assert result.shallow_dmin_us == pytest.approx(
+            result.deep_table_us[-1] / 5, rel=0.01
+        )
+
+    def test_render(self, result):
+        text = render_depth_ablation(result)
+        assert "abl-depth" in text

@@ -1,0 +1,61 @@
+"""Determinism regression tests.
+
+The simulator's claim of bit-exact reproducibility is itself tested:
+identical seeds give identical results, different seeds differ, and a
+pinned snapshot of headline numbers for seed 1 guards against silent
+behavioural drift (update the snapshot deliberately when semantics
+change — the EXPERIMENTS.md numbers must move with it).
+"""
+
+import pytest
+
+from repro.experiments.fig6 import Fig6Config, run_fig6
+
+
+def run_snapshot():
+    config = Fig6Config(irqs_per_load=400, seed=1)
+    return {scenario: run_fig6(scenario, config) for scenario in "abc"}
+
+
+class TestReproducibility:
+    def test_same_seed_same_results(self):
+        config = Fig6Config(irqs_per_load=200, seed=9)
+        first = run_fig6("b", config)
+        second = run_fig6("b", config)
+        assert first.latencies_us == second.latencies_us
+        assert first.mode_counts == second.mode_counts
+
+    def test_different_seed_different_results(self):
+        a = run_fig6("b", Fig6Config(irqs_per_load=200, seed=9))
+        b = run_fig6("b", Fig6Config(irqs_per_load=200, seed=10))
+        assert a.latencies_us != b.latencies_us
+
+
+class TestPinnedSnapshot:
+    """Exact headline numbers for seed 1, 400 IRQs/load.
+
+    These are behavioural checksums: any change to scheduling,
+    costs, classification or generators moves them.
+    """
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_snapshot()
+
+    def test_scenario_a_checksum(self, results):
+        result = results["a"]
+        assert len(result.latencies_us) == 1200
+        assert result.mode_counts.get("interposed", 0) == 0
+        assert result.avg_latency_us == pytest.approx(2352.04, abs=0.5)
+        assert result.max_latency_us == pytest.approx(8040.0, abs=0.5)
+
+    def test_scenario_b_checksum(self, results):
+        result = results["b"]
+        assert result.avg_latency_us == pytest.approx(1006.26, abs=0.5)
+        assert result.mode_counts.get("interposed", 0) == 384
+
+    def test_scenario_c_checksum(self, results):
+        result = results["c"]
+        assert result.mode_counts.get("delayed", 0) == 0
+        assert result.avg_latency_us == pytest.approx(73.41, abs=0.5)
+        assert result.max_latency_us == pytest.approx(97.03, abs=0.1)

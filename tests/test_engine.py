@@ -1,0 +1,162 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert SimulationEngine().now == 0
+
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(30, lambda: fired.append("c"))
+        engine.schedule(10, lambda: fired.append("a"))
+        engine.schedule(20, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_fifo(self):
+        engine = SimulationEngine()
+        fired = []
+        for label in "abcde":
+            engine.schedule(5, lambda l=label: fired.append(l))
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(42, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [42]
+        assert engine.now == 42
+
+    def test_schedule_at_absolute(self):
+        engine = SimulationEngine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        handle = engine.schedule_at(100, lambda: None)
+        assert handle.time == 100
+
+    def test_schedule_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(50, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(10, lambda: None)
+
+    def test_events_scheduled_during_event_fire(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule(5, lambda: fired.append("second"))
+
+        engine.schedule(10, first)
+        engine.run()
+        assert fired == ["first", "second"]
+        assert engine.now == 15
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule(10, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_handle_states(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(10, lambda: None)
+        assert handle.pending and not handle.fired and not handle.cancelled
+        engine.run()
+        assert handle.fired and not handle.pending
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(10, lambda: None)
+        engine.run()
+        handle.cancel()
+        assert handle.fired
+
+    def test_pending_events_excludes_cancelled(self):
+        engine = SimulationEngine()
+        keep = engine.schedule(10, lambda: None)
+        drop = engine.schedule(20, lambda: None)
+        drop.cancel()
+        assert engine.pending_events == 1
+        assert keep.pending
+
+
+class TestRunModes:
+    def test_run_until_executes_only_due_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(10, lambda: fired.append("early"))
+        engine.schedule(100, lambda: fired.append("late"))
+        engine.run_until(50)
+        assert fired == ["early"]
+        assert engine.now == 50
+
+    def test_run_until_includes_boundary(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(50, lambda: fired.append("edge"))
+        engine.run_until(50)
+        assert fired == ["edge"]
+
+    def test_run_until_backwards_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(100, lambda: None)
+        engine.run_until(100)
+        with pytest.raises(SimulationError):
+            engine.run_until(50)
+
+    def test_run_max_events(self):
+        engine = SimulationEngine()
+        for _ in range(10):
+            engine.schedule(1, lambda: None)
+        executed = engine.run(max_events=3)
+        assert executed == 3
+        assert engine.pending_events == 7
+
+    def test_stop_from_within_event(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1, lambda: (fired.append(1), engine.stop()))
+        engine.schedule(2, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_events_executed_counter(self):
+        engine = SimulationEngine()
+        for _ in range(5):
+            engine.schedule(1, lambda: None)
+        engine.run()
+        assert engine.events_executed == 5
+
+    def test_peek_next_time(self):
+        engine = SimulationEngine()
+        assert engine.peek_next_time() is None
+        engine.schedule(17, lambda: None)
+        assert engine.peek_next_time() == 17
+
+    def test_peek_skips_cancelled(self):
+        engine = SimulationEngine()
+        first = engine.schedule(5, lambda: None)
+        engine.schedule(10, lambda: None)
+        first.cancel()
+        assert engine.peek_next_time() == 10

@@ -1,0 +1,83 @@
+"""Tests for measurement export/import."""
+
+import csv
+
+import pytest
+
+from repro.core.policy import HandlingMode
+from repro.hypervisor.hypervisor import LatencyRecord
+from repro.metrics.export import (
+    read_records_json,
+    write_histogram_csv,
+    write_latency_csv,
+    write_records_json,
+    write_series_csv,
+)
+from repro.metrics.histogram import LatencyHistogram
+from repro.sim.clock import Clock
+
+
+def sample_records():
+    return [
+        LatencyRecord("irq", 0, 100, 8500, HandlingMode.DIRECT, False),
+        LatencyRecord("irq", 1, 9000, 180000, HandlingMode.DELAYED, False),
+        LatencyRecord("irq", 2, 200000, 220000, HandlingMode.INTERPOSED, True),
+    ]
+
+
+class TestLatencyCsv:
+    def test_roundtrip_rows(self, tmp_path):
+        path = tmp_path / "lat.csv"
+        assert write_latency_csv(path, sample_records()) == 3
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "source"
+        assert len(rows) == 4
+        assert rows[1][5] == "direct"
+
+    def test_with_clock_adds_us_column(self, tmp_path):
+        path = tmp_path / "lat.csv"
+        write_latency_csv(path, sample_records(), clock=Clock())
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert "latency_us" in rows[0]
+        assert rows[1][rows[0].index("latency_us")] == "42.000"
+
+
+class TestHistogramCsv:
+    def test_writes_bins(self, tmp_path):
+        histogram = LatencyHistogram(0, 100, 50)
+        histogram.add_all([10, 60, 150])
+        path = tmp_path / "hist.csv"
+        assert write_histogram_csv(path, histogram) == 2
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert [float(rows[1][0]), float(rows[1][1]), int(rows[1][2])] == [0.0, 50.0, 1]
+        assert rows[-2][0] == "overflow"
+        assert rows[-2][2] == "1"
+
+
+class TestSeriesCsv:
+    def test_writes_indexed_values(self, tmp_path):
+        path = tmp_path / "series.csv"
+        assert write_series_csv(path, [1.5, 2.5], column="avg_us") == 2
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["index", "avg_us"]
+        assert rows[2] == ["1", "2.5"]
+
+
+class TestRecordsJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "records.json"
+        records = sample_records()
+        assert write_records_json(path, records,
+                                  metadata={"seed": 1}) == 3
+        loaded = read_records_json(path)
+        assert loaded == records
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError):
+            read_records_json(path)

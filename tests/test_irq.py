@@ -1,0 +1,103 @@
+"""Tests for IRQ sources, events and queues."""
+
+import pytest
+
+from repro.core.policy import HandlingMode
+from repro.hypervisor.irq import IrqEvent, IrqQueue, IrqQueueOverflow, IrqSource
+
+
+def make_source(**overrides):
+    defaults = dict(name="irq", line=5, subscriber="P1",
+                    top_handler_cycles=400, bottom_handler_cycles=8_000)
+    defaults.update(overrides)
+    return IrqSource(**defaults)
+
+
+class TestIrqSource:
+    def test_defaults(self):
+        source = make_source()
+        assert source.actual_bottom_cycles(0) == 8_000
+        assert not source.policy.request_interpose(0)   # NeverInterpose
+
+    def test_actual_bottom_handler_override(self):
+        source = make_source(bottom_handler_actual=lambda seq: 1_000 * (seq + 1))
+        assert source.actual_bottom_cycles(0) == 1_000
+        assert source.actual_bottom_cycles(2) == 3_000
+
+    def test_negative_actual_rejected(self):
+        source = make_source(bottom_handler_actual=lambda seq: -1)
+        with pytest.raises(ValueError):
+            source.actual_bottom_cycles(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_source(line=-1)
+        with pytest.raises(ValueError):
+            make_source(top_handler_cycles=-1)
+        with pytest.raises(ValueError):
+            make_source(bottom_handler_cycles=-1)
+
+
+class TestIrqEvent:
+    def test_latency(self):
+        event = IrqEvent(make_source(), seq=0, arrival=100, bh_remaining=500)
+        assert event.latency is None
+        event.completed_at = 900
+        assert event.latency == 800
+
+    def test_done(self):
+        event = IrqEvent(make_source(), seq=0, arrival=0, bh_remaining=10)
+        assert not event.done
+        event.bh_remaining = 0
+        assert event.done
+
+    def test_repr_mentions_mode(self):
+        event = IrqEvent(make_source(), seq=3, arrival=0, bh_remaining=10)
+        event.mode = HandlingMode.DELAYED
+        assert "delayed" in repr(event)
+
+
+class TestIrqQueue:
+    def test_fifo_order(self):
+        queue = IrqQueue()
+        events = [IrqEvent(make_source(), seq=i, arrival=i, bh_remaining=1)
+                  for i in range(3)]
+        for event in events:
+            queue.push(event)
+        assert queue.pop() is events[0]
+        assert queue.pop() is events[1]
+        assert queue.pop() is events[2]
+
+    def test_head_peeks(self):
+        queue = IrqQueue()
+        event = IrqEvent(make_source(), seq=0, arrival=0, bh_remaining=1)
+        queue.push(event)
+        assert queue.head() is event
+        assert len(queue) == 1
+
+    def test_head_of_empty(self):
+        assert IrqQueue().head() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IrqQueue().pop()
+
+    def test_capacity_overflow(self):
+        queue = IrqQueue(capacity=2)
+        for i in range(2):
+            queue.push(IrqEvent(make_source(), seq=i, arrival=i, bh_remaining=1))
+        with pytest.raises(IrqQueueOverflow):
+            queue.push(IrqEvent(make_source(), seq=2, arrival=2, bh_remaining=1))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            IrqQueue(capacity=0)
+
+    def test_statistics(self):
+        queue = IrqQueue()
+        for i in range(3):
+            queue.push(IrqEvent(make_source(), seq=i, arrival=i, bh_remaining=1))
+        queue.pop()
+        assert queue.pushed_count == 3
+        assert queue.max_depth == 3
+        assert len(queue) == 2

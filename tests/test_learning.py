@@ -1,0 +1,161 @@
+"""Tests for the self-learning δ⁻ algorithms (Appendix A, Alg. 1/2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.learning import (
+    UNLEARNED,
+    DeltaLearner,
+    build_monitor,
+    clamp_to_bound,
+    scale_table_to_load_fraction,
+)
+
+
+class TestDeltaLearner:
+    def test_learns_consecutive_minimum(self):
+        learner = DeltaLearner(1)
+        for t in (0, 100, 130, 300):
+            learner.observe(t)
+        assert learner.table() == [30]
+
+    def test_learns_deep_minima(self):
+        learner = DeltaLearner(3)
+        for t in (0, 100, 150, 400):
+            learner.observe(t)
+        # consecutive: min(100, 50, 250) = 50
+        # two apart:   min(150, 300) = 150
+        # three apart: 400
+        assert learner.table() == [50, 150, 400]
+
+    def test_unlearned_entries_stay_large(self):
+        learner = DeltaLearner(3)
+        learner.observe(0)
+        learner.observe(10)
+        table = learner.table()
+        assert table[0] == 10
+        assert table[1] == UNLEARNED
+        assert table[2] == UNLEARNED
+        assert not learner.is_complete()
+
+    def test_is_complete(self):
+        learner = DeltaLearner(2)
+        for t in (0, 5, 9):
+            learner.observe(t)
+        assert learner.is_complete()
+
+    def test_observed_count(self):
+        learner = DeltaLearner(2)
+        for t in range(5):
+            learner.observe(t * 10)
+        assert learner.observed_count == 5
+
+    def test_monotonicity_required(self):
+        learner = DeltaLearner(1)
+        learner.observe(100)
+        with pytest.raises(ValueError):
+            learner.observe(50)
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaLearner(0)
+
+    def test_simultaneous_events_learn_zero(self):
+        learner = DeltaLearner(1)
+        learner.observe(100)
+        learner.observe(100)
+        assert learner.table() == [0]
+
+
+class TestClampToBound:
+    def test_elementwise_max(self):
+        assert clamp_to_bound([10, 50], [30, 40]) == [30, 50]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            clamp_to_bound([10], [10, 20])
+
+    def test_non_binding_bound(self):
+        """Fig. 7 case (a): the bound does not bind the recorded table."""
+        assert clamp_to_bound([100, 300], [1, 1]) == [100, 300]
+
+
+class TestScaleToLoadFraction:
+    def test_quarter_load_quadruples_distances(self):
+        assert scale_table_to_load_fraction([100, 400], 0.25) == [400, 1600]
+
+    def test_full_load_identity(self):
+        assert scale_table_to_load_fraction([100, 400], 1.0) == [100, 400]
+
+    def test_unlearned_stays_unlearned(self):
+        assert scale_table_to_load_fraction([UNLEARNED], 0.5) == [UNLEARNED]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            scale_table_to_load_fraction([100], 0.0)
+        with pytest.raises(ValueError):
+            scale_table_to_load_fraction([100], 1.5)
+
+
+class TestBuildMonitor:
+    def test_build_from_learned(self):
+        monitor = build_monitor([100, 50])   # normalized to [100, 100]
+        assert monitor.table == [100, 100]
+
+    def test_build_with_bound(self):
+        monitor = build_monitor([100, 300], bound=[200, 250])
+        assert monitor.table == [200, 300]
+
+    def test_unlearned_entries_rejected(self):
+        with pytest.raises(ValueError):
+            build_monitor([100, UNLEARNED])
+
+    def test_unlearned_entry_survives_bound_and_is_rejected(self):
+        # Algorithm 2 only raises entries; an UNLEARNED entry stays
+        # maximally restrictive and the monitor refuses to run on it.
+        with pytest.raises(ValueError):
+            build_monitor([100, UNLEARNED], bound=[100, 500])
+
+    def test_depth_vs_learn_count(self):
+        from repro.core.policy import SelfLearningInterposing
+        with pytest.raises(ValueError):
+            SelfLearningInterposing(depth=5, learn_count=5)
+
+
+@settings(max_examples=150, deadline=None)
+@given(gaps=st.lists(st.integers(min_value=0, max_value=1_000),
+                     min_size=6, max_size=60))
+def test_property_learner_matches_trace_minima(gaps):
+    """Algorithm 1 learns exactly the trace's minimum q-event spans."""
+    times = []
+    t = 0
+    for gap in gaps:
+        t += gap
+        times.append(t)
+    depth = 4
+    learner = DeltaLearner(depth)
+    for value in times:
+        learner.observe(value)
+    learned = learner.table()
+    for k in range(depth):
+        span = k + 2   # events spanned
+        expected = min(times[i + span - 1] - times[i]
+                       for i in range(len(times) - span + 1))
+        assert learned[k] == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    learned=st.lists(st.integers(min_value=0, max_value=1_000),
+                     min_size=1, max_size=5),
+    bound=st.lists(st.integers(min_value=0, max_value=1_000),
+                   min_size=1, max_size=5),
+)
+def test_property_clamp_dominates_both(learned, bound):
+    """Algorithm 2's output is never below either input table."""
+    size = min(len(learned), len(bound))
+    learned, bound = learned[:size], bound[:size]
+    clamped = clamp_to_bound(learned, bound)
+    assert all(c >= l for c, l in zip(clamped, learned))
+    assert all(c >= b for c, b in zip(clamped, bound))

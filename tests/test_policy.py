@@ -1,0 +1,105 @@
+"""Tests for interposing policies (Fig. 4b decision logic)."""
+
+import pytest
+
+from repro.baselines.boost import BoostPolicy
+from repro.core.monitor import DeltaMinusMonitor
+from repro.core.policy import (
+    AlwaysInterpose,
+    LearningPhase,
+    MonitoredInterposing,
+    NeverInterpose,
+    SelfLearningInterposing,
+)
+
+
+class TestNeverInterpose:
+    def test_always_denies(self):
+        policy = NeverInterpose()
+        assert not policy.request_interpose(0)
+        assert not policy.request_interpose(10_000)
+
+    def test_no_monitoring_cost(self):
+        """The unmodified Fig. 4a top handler has no monitoring call."""
+        assert not NeverInterpose().monitoring_cost_applies
+
+
+class TestAlwaysInterpose:
+    def test_always_grants(self):
+        policy = AlwaysInterpose()
+        assert policy.request_interpose(0)
+        assert policy.request_interpose(1)
+
+    def test_no_monitoring_cost(self):
+        assert not AlwaysInterpose().monitoring_cost_applies
+
+
+class TestBoostPolicy:
+    def test_counts_boosts(self):
+        policy = BoostPolicy()
+        for t in range(5):
+            assert policy.request_interpose(t)
+        assert policy.boost_count == 5
+
+
+class TestMonitoredInterposing:
+    def test_follows_monitor(self):
+        policy = MonitoredInterposing(DeltaMinusMonitor.from_dmin(100))
+        assert policy.request_interpose(0)
+        assert not policy.request_interpose(50)
+        assert policy.request_interpose(100)
+
+    def test_monitoring_cost_applies(self):
+        policy = MonitoredInterposing(DeltaMinusMonitor.from_dmin(100))
+        assert policy.monitoring_cost_applies
+
+
+class TestSelfLearningInterposing:
+    def test_denies_during_learning(self):
+        policy = SelfLearningInterposing(depth=2, learn_count=5)
+        for t in range(4):
+            policy.observe_arrival(t * 100)
+            assert not policy.request_interpose(t * 100)
+        assert policy.phase is LearningPhase.LEARN
+
+    def test_enters_run_mode_after_learn_count(self):
+        policy = SelfLearningInterposing(depth=2, learn_count=5)
+        for t in range(5):
+            policy.observe_arrival(t * 100)
+        assert policy.phase is LearningPhase.RUN
+        assert policy.monitor is not None
+        assert policy.monitor.table == [100, 200]
+
+    def test_run_mode_uses_learned_table(self):
+        policy = SelfLearningInterposing(depth=1, learn_count=4)
+        for t in (0, 100, 250, 400):
+            policy.observe_arrival(t)
+        assert policy.request_interpose(500)      # 100 after nothing accepted
+        assert not policy.request_interpose(550)  # 50 < learned 100
+
+    def test_load_fraction_scales_bound(self):
+        policy = SelfLearningInterposing(depth=1, learn_count=3,
+                                         load_fraction=0.25)
+        for t in (0, 100, 200):
+            policy.observe_arrival(t)
+        # learned d_min 100, 25% load => 400
+        assert policy.monitor.table == [400]
+
+    def test_explicit_bound(self):
+        policy = SelfLearningInterposing(depth=1, learn_count=3, bound=[300])
+        for t in (0, 100, 200):
+            policy.observe_arrival(t)
+        assert policy.monitor.table == [300]
+
+    def test_bound_and_fraction_exclusive(self):
+        with pytest.raises(ValueError):
+            SelfLearningInterposing(depth=1, learn_count=3, bound=[300],
+                                    load_fraction=0.5)
+
+    def test_observe_after_run_mode_is_ignored(self):
+        policy = SelfLearningInterposing(depth=1, learn_count=3)
+        for t in (0, 100, 200):
+            policy.observe_arrival(t)
+        table_before = policy.monitor.table
+        policy.observe_arrival(201)   # a 1-cycle gap would change the table
+        assert policy.monitor.table == table_before

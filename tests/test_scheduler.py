@@ -1,0 +1,130 @@
+"""Tests for the TDMA scheduler (static table + nominal grid)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypervisor.config import SlotConfig
+from repro.hypervisor.scheduler import TdmaScheduler
+
+
+def paper_table():
+    return [SlotConfig("P1", 6_000), SlotConfig("P2", 6_000),
+            SlotConfig("HK", 2_000)]
+
+
+class TestStaticQueries:
+    def test_cycle_length(self):
+        assert TdmaScheduler(paper_table()).cycle_length == 14_000
+
+    def test_slot_length(self):
+        scheduler = TdmaScheduler(paper_table())
+        assert scheduler.slot_length("P1") == 6_000
+        assert scheduler.slot_length("HK") == 2_000
+
+    def test_slot_length_multiple_slots(self):
+        scheduler = TdmaScheduler([SlotConfig("A", 100), SlotConfig("B", 50),
+                                   SlotConfig("A", 30)])
+        assert scheduler.slot_length("A") == 130
+
+    def test_slot_length_unknown(self):
+        with pytest.raises(KeyError):
+            TdmaScheduler(paper_table()).slot_length("X")
+
+    def test_partitions(self):
+        assert TdmaScheduler(paper_table()).partitions() == ["P1", "P2", "HK"]
+
+    def test_owner_at(self):
+        scheduler = TdmaScheduler(paper_table())
+        assert scheduler.owner_at(0) == "P1"
+        assert scheduler.owner_at(5_999) == "P1"
+        assert scheduler.owner_at(6_000) == "P2"
+        assert scheduler.owner_at(12_000) == "HK"
+        assert scheduler.owner_at(14_000) == "P1"    # wraps
+        assert scheduler.owner_at(20_000) == "P2"
+
+    def test_next_nominal_boundary_after(self):
+        scheduler = TdmaScheduler(paper_table())
+        assert scheduler.next_nominal_boundary_after(0) == 6_000
+        assert scheduler.next_nominal_boundary_after(5_999) == 6_000
+        assert scheduler.next_nominal_boundary_after(6_000) == 12_000
+        assert scheduler.next_nominal_boundary_after(13_999) == 14_000
+        assert scheduler.next_nominal_boundary_after(14_000) == 20_000
+
+    def test_slot_start_offsets(self):
+        assert TdmaScheduler(paper_table()).slot_start_offsets() == [0, 6_000, 12_000]
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            TdmaScheduler([])
+
+    def test_zero_length_slot_rejected(self):
+        with pytest.raises(ValueError):
+            SlotConfig("P1", 0)
+
+
+class TestRuntime:
+    def test_start_returns_first_boundary(self):
+        scheduler = TdmaScheduler(paper_table())
+        assert scheduler.start(0) == 6_000
+        assert scheduler.current_owner == "P1"
+
+    def test_advance_cycles_through_table(self):
+        scheduler = TdmaScheduler(paper_table())
+        scheduler.start(0)
+        assert scheduler.advance().partition == "P2"
+        assert scheduler.next_boundary() == 12_000
+        assert scheduler.advance().partition == "HK"
+        assert scheduler.advance().partition == "P1"
+        assert scheduler.next_boundary() == 20_000
+
+    def test_advance_before_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            TdmaScheduler(paper_table()).advance()
+
+    def test_nonzero_epoch(self):
+        scheduler = TdmaScheduler(paper_table())
+        scheduler.start(1_000)
+        assert scheduler.next_boundary() == 7_000
+        assert scheduler.owner_at(1_000) == "P1"
+        assert scheduler.owner_at(7_000) == "P2"
+        assert scheduler.next_nominal_boundary_after(7_000) == 13_000
+
+    def test_time_before_epoch_rejected(self):
+        scheduler = TdmaScheduler(paper_table())
+        scheduler.start(1_000)
+        with pytest.raises(ValueError):
+            scheduler.owner_at(500)
+
+    def test_late_delivery_skips_slots(self):
+        scheduler = TdmaScheduler(paper_table())
+        scheduler.start(0)
+        # Delivery so late that P2's whole nominal slot already passed.
+        slot = scheduler.advance(now=12_500)
+        assert slot.partition == "HK"
+        assert scheduler.slots_skipped == 1
+        assert scheduler.next_boundary() == 14_000
+
+    def test_normal_advance_skips_nothing(self):
+        scheduler = TdmaScheduler(paper_table())
+        scheduler.start(0)
+        scheduler.advance(now=6_010)
+        assert scheduler.slots_skipped == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lengths=st.lists(st.integers(min_value=1, max_value=1_000),
+                     min_size=1, max_size=6),
+    time=st.integers(min_value=0, max_value=100_000),
+)
+def test_property_owner_and_boundary_consistent(lengths, time):
+    """owner_at is constant within [t, next boundary) and changes at it
+    (modulo repeated partitions in adjacent slots)."""
+    slots = [SlotConfig(f"P{i}", length) for i, length in enumerate(lengths)]
+    scheduler = TdmaScheduler(slots)
+    boundary = scheduler.next_nominal_boundary_after(time)
+    assert boundary > time
+    assert scheduler.owner_at(time) == scheduler.owner_at(boundary - 1)
+    # boundary - time never exceeds the longest slot
+    assert boundary - time <= max(lengths)

@@ -1,0 +1,127 @@
+"""Tests for timer devices."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.intc import InterruptController
+from repro.sim.timers import IntervalSequenceTimer, OneShotTimer, TimestampTimer
+
+
+def make_stack():
+    engine = SimulationEngine()
+    intc = InterruptController(engine)
+    delivered = []
+
+    def dispatcher(line):
+        intc.mask_all()
+        intc.acknowledge(line)
+        delivered.append((engine.now, line))
+        intc.unmask_all()
+
+    intc.set_dispatcher(dispatcher)
+    return engine, intc, delivered
+
+
+class TestOneShotTimer:
+    def test_fires_after_delay(self):
+        engine, intc, delivered = make_stack()
+        timer = OneShotTimer(engine, intc, line=3)
+        timer.program(100)
+        engine.run()
+        assert delivered == [(100, 3)]
+        assert timer.expirations == 1
+
+    def test_reprogram_replaces_deadline(self):
+        engine, intc, delivered = make_stack()
+        timer = OneShotTimer(engine, intc, line=3)
+        timer.program(100)
+        timer.program(50)
+        engine.run()
+        assert delivered == [(50, 3)]
+
+    def test_cancel(self):
+        engine, intc, delivered = make_stack()
+        timer = OneShotTimer(engine, intc, line=3)
+        timer.program(100)
+        timer.cancel()
+        engine.run()
+        assert delivered == []
+        assert not timer.armed
+
+    def test_armed_property(self):
+        engine, intc, _ = make_stack()
+        timer = OneShotTimer(engine, intc, line=3)
+        assert not timer.armed
+        timer.program(10)
+        assert timer.armed
+        engine.run()
+        assert not timer.armed
+
+    def test_negative_delay_rejected(self):
+        engine, intc, _ = make_stack()
+        timer = OneShotTimer(engine, intc, line=3)
+        with pytest.raises(ValueError):
+            timer.program(-5)
+
+    def test_zero_delay_fires_immediately(self):
+        engine, intc, delivered = make_stack()
+        timer = OneShotTimer(engine, intc, line=3)
+        timer.program(0)
+        engine.run()
+        assert delivered == [(0, 3)]
+
+
+class TestIntervalSequenceTimer:
+    def test_consumes_sequence(self):
+        engine, intc, delivered = make_stack()
+        timer = IntervalSequenceTimer(engine, intc, line=2,
+                                      intervals=[10, 20, 30])
+        assert timer.remaining == 3
+        assert timer.arm_next()
+        engine.run()
+        assert delivered == [(10, 2)]
+        assert timer.arm_next()
+        engine.run()
+        assert delivered == [(10, 2), (30, 2)]
+
+    def test_rearm_from_dispatcher(self):
+        engine = SimulationEngine()
+        intc = InterruptController(engine)
+        times = []
+        timer = IntervalSequenceTimer(engine, intc, line=2,
+                                      intervals=[10, 10, 10])
+
+        def dispatcher(line):
+            intc.mask_all()
+            intc.acknowledge(line)
+            times.append(engine.now)
+            timer.arm_next()
+            intc.unmask_all()
+
+        intc.set_dispatcher(dispatcher)
+        timer.arm_next()
+        engine.run()
+        assert times == [10, 20, 30]
+        assert timer.exhausted
+
+    def test_exhaustion(self):
+        engine, intc, _ = make_stack()
+        timer = IntervalSequenceTimer(engine, intc, line=2, intervals=[5])
+        assert timer.arm_next()
+        assert not timer.arm_next()
+        assert timer.exhausted
+
+    def test_rejects_negative_intervals(self):
+        engine, intc, _ = make_stack()
+        with pytest.raises(ValueError):
+            IntervalSequenceTimer(engine, intc, line=2, intervals=[10, -1])
+
+
+class TestTimestampTimer:
+    def test_reads_engine_time(self):
+        engine = SimulationEngine()
+        stamp = TimestampTimer(engine)
+        assert stamp.read() == 0
+        engine.schedule(123, lambda: None)
+        engine.run()
+        assert stamp.read() == 123

@@ -1,0 +1,137 @@
+"""Tests for trace transformations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.traces import ActivationTrace
+from repro.workloads.transforms import (
+    add_jitter,
+    merge,
+    offset,
+    scale,
+    thin,
+    window,
+)
+
+
+def trace(*times):
+    return ActivationTrace(list(times))
+
+
+class TestMerge:
+    def test_sorted_union(self):
+        merged = merge(trace(0, 100, 200), trace(50, 150))
+        assert merged.times == [0, 50, 100, 150, 200]
+
+    def test_min_separation_serializes(self):
+        merged = merge(trace(0, 100), trace(100, 200), min_separation=10)
+        assert merged.times == [0, 100, 110, 200]
+
+    def test_requires_a_trace(self):
+        with pytest.raises(ValueError):
+            merge()
+
+    def test_negative_separation_rejected(self):
+        with pytest.raises(ValueError):
+            merge(trace(0, 1), min_separation=-1)
+
+
+class TestScale:
+    def test_halving_doubles_rate(self):
+        scaled = scale(trace(0, 100, 200), 0.5)
+        assert scaled.times == [0, 50, 100]
+
+    def test_identity(self):
+        assert scale(trace(0, 7, 19), 1.0).times == [0, 7, 19]
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scale(trace(0, 1), 0)
+
+
+class TestOffset:
+    def test_shift(self):
+        assert offset(trace(0, 10), 5).times == [5, 15]
+
+    def test_negative_shift_ok_if_nonnegative(self):
+        assert offset(trace(10, 20), -10).times == [0, 10]
+
+    def test_below_zero_rejected(self):
+        with pytest.raises(ValueError):
+            offset(trace(0, 10), -1)
+
+
+class TestJitter:
+    def test_zero_jitter_identity(self):
+        assert add_jitter(trace(0, 100), 0, seed=1).times == [0, 100]
+
+    def test_deterministic(self):
+        a = add_jitter(trace(0, 100, 200), 50, seed=7).times
+        b = add_jitter(trace(0, 100, 200), 50, seed=7).times
+        assert a == b
+
+    def test_stays_monotone(self):
+        jittered = add_jitter(trace(*range(0, 1000, 10)), 100, seed=3)
+        assert jittered.times == sorted(jittered.times)
+
+
+class TestWindow:
+    def test_keeps_range(self):
+        assert window(trace(0, 50, 100, 150), 40, 140).times == [50, 100]
+
+    def test_rebase(self):
+        assert window(trace(0, 50, 100, 150), 40, 140,
+                      rebase=True).times == [10, 60]
+
+    def test_too_small_window_rejected(self):
+        with pytest.raises(ValueError):
+            window(trace(0, 50, 100), 40, 60)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            window(trace(0, 1), 10, 10)
+
+
+class TestThin:
+    def test_keep_every_second(self):
+        assert thin(trace(0, 10, 20, 30), 2).times == [0, 20]
+
+    def test_identity(self):
+        assert thin(trace(0, 10, 20), 1).times == [0, 10, 20]
+
+    def test_over_thinning_rejected(self):
+        with pytest.raises(ValueError):
+            thin(trace(0, 10, 20), 3)
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            thin(trace(0, 10), 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    gaps_a=st.lists(st.integers(min_value=1, max_value=1_000),
+                    min_size=1, max_size=30),
+    gaps_b=st.lists(st.integers(min_value=1, max_value=1_000),
+                    min_size=1, max_size=30),
+    separation=st.integers(min_value=0, max_value=50),
+)
+def test_property_merge_preserves_count_and_order(gaps_a, gaps_b, separation):
+    a = ActivationTrace.from_interarrivals(gaps_a)
+    b = ActivationTrace.from_interarrivals(gaps_b)
+    merged = merge(a, b, min_separation=separation)
+    assert len(merged) == len(a) + len(b)
+    assert merged.times == sorted(merged.times)
+    if separation and len(merged) > 1:
+        assert merged.min_distance() >= separation
+
+
+@settings(max_examples=100, deadline=None)
+@given(gaps=st.lists(st.integers(min_value=1, max_value=1_000),
+                     min_size=2, max_size=40),
+       factor=st.sampled_from([0.25, 0.5, 2.0, 3.0]))
+def test_property_scale_preserves_event_count(gaps, factor):
+    original = ActivationTrace.from_interarrivals(gaps)
+    scaled = scale(original, factor)
+    assert len(scaled) == len(original)
