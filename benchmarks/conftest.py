@@ -3,11 +3,19 @@
 Each benchmark regenerates one paper artifact (see DESIGN.md §4) at a
 reduced-but-representative size, records the headline numbers in
 ``benchmark.extra_info`` next to the paper's reference values, and
-asserts the reproduction's shape properties.  Full paper-scale runs:
-``python -m repro.experiments <id>``.
+asserts the reproduction's shape properties.
+
+IRQ counts come from :mod:`repro.experiments.scale` — the same table
+the CLI's ``--quick``/``--paper-scale`` flags resolve against — so the
+benchmarks and ``python -m repro.experiments`` always agree on what
+"quick" and "paper scale" mean.  Pass ``--paper-scale`` to run the
+full counts; paper-scale-only benchmarks are additionally marked
+``slow`` (deselect with ``-m "not slow"``).
 """
 
 import pytest
+
+from repro.experiments.scale import PAPER, QUICK
 
 
 def pytest_addoption(parser):
@@ -18,5 +26,6 @@ def pytest_addoption(parser):
 
 
 @pytest.fixture
-def paper_scale(request):
-    return request.config.getoption("--paper-scale")
+def scale(request):
+    """The run's experiment scale: QUICK by default, PAPER on demand."""
+    return PAPER if request.config.getoption("--paper-scale") else QUICK

@@ -18,10 +18,10 @@ from repro.experiments.ablation import (
 )
 
 
-def test_abl_boost(benchmark, paper_scale):
+def test_abl_boost(benchmark, scale):
     result = benchmark.pedantic(
         run_boost_ablation,
-        kwargs={"irq_count": 1_500 if paper_scale else 500},
+        kwargs={"irq_count": scale.ablation_irqs},
         rounds=1, iterations=1,
     )
     print()
@@ -39,10 +39,10 @@ def test_abl_boost(benchmark, paper_scale):
             > 2 * result.monitored_worst_interference_us)
 
 
-def test_abl_throttle(benchmark, paper_scale):
+def test_abl_throttle(benchmark, scale):
     result = benchmark.pedantic(
         run_throttle_ablation,
-        kwargs={"irq_count": 1_500 if paper_scale else 450},
+        kwargs={"irq_count": scale.ablation_irqs},
         rounds=1, iterations=1,
     )
     print()

@@ -11,10 +11,10 @@ import pytest
 from repro.experiments.validation import render_validation, run_validation
 
 
-def test_eq_analysis(benchmark, paper_scale):
+def test_eq_analysis(benchmark, scale):
     result = benchmark.pedantic(
         run_validation,
-        kwargs={"irq_count": 3_000 if paper_scale else 1_000},
+        kwargs={"irq_count": scale.validation_irqs},
         rounds=1, iterations=1,
     )
     print()

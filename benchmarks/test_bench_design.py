@@ -19,10 +19,10 @@ from repro.experiments.ablation import (
 from repro.experiments.design import render_design, run_design
 
 
-def test_design(benchmark, paper_scale):
+def test_design(benchmark, scale):
     result = benchmark.pedantic(
         run_design,
-        kwargs={"irq_count": 600 if paper_scale else 300},
+        kwargs={"irq_count": scale.design_irqs},
         rounds=1, iterations=1,
     )
     print()
@@ -41,10 +41,10 @@ def test_design(benchmark, paper_scale):
     assert result.windows_opened > 0
 
 
-def test_abl_depth(benchmark, paper_scale):
+def test_abl_depth(benchmark, scale):
     result = benchmark.pedantic(
         run_depth_ablation,
-        kwargs={"activation_count": 3_000 if paper_scale else 1_500},
+        kwargs={"activation_count": scale.ablation_depth_activations},
         rounds=1, iterations=1,
     )
     print()

@@ -18,8 +18,8 @@ from repro.experiments.fig6 import (
 )
 
 
-def _config(paper_scale: bool) -> Fig6Config:
-    return Fig6Config(irqs_per_load=5_000 if paper_scale else 1_000)
+def _config(scale) -> Fig6Config:
+    return Fig6Config(irqs_per_load=scale.fig6_irqs_per_load)
 
 
 def _record(benchmark, result):
@@ -36,8 +36,8 @@ def _record(benchmark, result):
     print(render_fig6(result))
 
 
-def test_fig6a(benchmark, paper_scale):
-    config = _config(paper_scale)
+def test_fig6a(benchmark, scale):
+    config = _config(scale)
     result = benchmark.pedantic(run_fig6, args=("a", config),
                                 rounds=1, iterations=1)
     _record(benchmark, result)
@@ -48,8 +48,8 @@ def test_fig6a(benchmark, paper_scale):
     assert 7_000 < result.max_latency_us < 8_500      # T_TDMA - T_i bound
 
 
-def test_fig6b(benchmark, paper_scale):
-    config = _config(paper_scale)
+def test_fig6b(benchmark, scale):
+    config = _config(scale)
     result = benchmark.pedantic(run_fig6, args=("b", config),
                                 rounds=1, iterations=1)
     _record(benchmark, result)
@@ -62,8 +62,8 @@ def test_fig6b(benchmark, paper_scale):
     assert result.max_latency_us > 0.8 * baseline.max_latency_us
 
 
-def test_fig6c(benchmark, paper_scale):
-    config = _config(paper_scale)
+def test_fig6c(benchmark, scale):
+    config = _config(scale)
     result = benchmark.pedantic(run_fig6, args=("c", config),
                                 rounds=1, iterations=1)
     _record(benchmark, result)

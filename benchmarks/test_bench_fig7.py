@@ -21,9 +21,9 @@ from repro.experiments.fig7 import (
 from repro.workloads.automotive import AutomotiveTraceConfig
 
 
-def test_fig7(benchmark, paper_scale):
+def test_fig7(benchmark, scale):
     config = Fig7Config(trace=AutomotiveTraceConfig(
-        activation_count=11_000 if paper_scale else 3_000
+        activation_count=scale.fig7_activations
     ))
     results = benchmark.pedantic(run_fig7, args=(config,),
                                  rounds=1, iterations=1)

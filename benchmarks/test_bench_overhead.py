@@ -16,10 +16,10 @@ import pytest
 from repro.experiments.overhead import render_overhead, run_overhead
 
 
-def test_tab62(benchmark, paper_scale):
+def test_tab62(benchmark, scale):
     result = benchmark.pedantic(
         run_overhead,
-        kwargs={"irqs_per_load": 2_000 if paper_scale else 500},
+        kwargs={"irqs_per_load": scale.tab62_irqs_per_load},
         rounds=1, iterations=1,
     )
     print()

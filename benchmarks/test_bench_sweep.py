@@ -18,10 +18,10 @@ from repro.experiments.sweep import (
 )
 
 
-def test_abl_sweep_cycle(benchmark, paper_scale):
+def test_abl_sweep_cycle(benchmark, scale):
     points = benchmark.pedantic(
         run_cycle_sweep,
-        kwargs={"irq_count": 1_000 if paper_scale else 300},
+        kwargs={"irq_count": scale.sweep_irqs},
         rounds=1, iterations=1,
     )
     print()
@@ -42,10 +42,10 @@ def test_abl_sweep_cycle(benchmark, paper_scale):
         assert point.interposed_measured_max_us <= point.interposed_bound_us
 
 
-def test_abl_sweep_dmin(benchmark, paper_scale):
+def test_abl_sweep_dmin(benchmark, scale):
     points = benchmark.pedantic(
         run_dmin_sweep,
-        kwargs={"irq_count": 1_000 if paper_scale else 300},
+        kwargs={"irq_count": scale.sweep_irqs},
         rounds=1, iterations=1,
     )
     print()

@@ -2,17 +2,26 @@
 
 Usage::
 
-    python -m repro.experiments fig6a            # full paper-scale run
-    python -m repro.experiments fig6b --quick    # reduced IRQ counts
-    python -m repro.experiments all
+    python -m repro.experiments fig6a               # full paper-scale run
+    python -m repro.experiments fig6b --quick       # reduced IRQ counts
+    python -m repro.experiments all --jobs 4        # parallel campaign
+    python -m repro.experiments all --smoke --jobs 2  # CI smoke target
 
 Experiment ids match the per-experiment index in DESIGN.md:
-fig6a, fig6b, fig6c, fig7, tab62, validation, ablation, sweep.
+fig6a, fig6b, fig6c, fig7, tab62, validation, ablation, sweep, design.
+
+Campaigns decompose into independent tasks (see
+:mod:`repro.experiments.runner`) executed across ``--jobs`` worker
+processes; results are byte-identical for every jobs count because the
+per-task seeds are derived deterministically and merges consume task
+results in serial order.  Timing goes to stderr so stdout can be
+diffed across jobs counts.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -20,66 +29,43 @@ from repro.experiments.ablation import (
     render_boost_ablation,
     render_depth_ablation,
     render_throttle_ablation,
-    run_boost_ablation,
-    run_depth_ablation,
-    run_throttle_ablation,
 )
-from repro.experiments.design import render_design, run_design
-from repro.experiments.fig6 import Fig6Config, render_fig6, run_fig6
-from repro.experiments.fig7 import Fig7Config, render_fig7, run_fig7
-from repro.experiments.overhead import render_overhead, run_overhead
-from repro.experiments.sweep import (
-    render_cycle_sweep,
-    render_dmin_sweep,
-    run_cycle_sweep,
-    run_dmin_sweep,
-)
-from repro.experiments.validation import render_validation, run_validation
-from repro.workloads.automotive import AutomotiveTraceConfig
+from repro.experiments.design import render_design
+from repro.experiments.fig6 import render_fig6
+from repro.experiments.fig7 import render_fig7
+from repro.experiments.overhead import render_overhead
+from repro.experiments.runner import run_campaign, write_bench_json
+from repro.experiments.scale import resolve_scale
+from repro.experiments.sweep import render_cycle_sweep, render_dmin_sweep
+from repro.experiments.validation import render_validation
 
 EXPERIMENTS = ("fig6a", "fig6b", "fig6c", "fig7", "tab62",
                "validation", "ablation", "sweep", "design")
 
 
-def _run_one(name: str, quick: bool, seed: int,
-             export_dir: "str | None" = None) -> str:
+def _render_one(name: str, result, export_dir: "str | None") -> str:
+    """Render one experiment's merged campaign result."""
     if name.startswith("fig6"):
-        scenario = name[-1]
-        config = Fig6Config(irqs_per_load=1_000 if quick else 5_000, seed=seed)
-        result = run_fig6(scenario, config)
         if export_dir is not None:
             _export_fig6(export_dir, name, result)
         return render_fig6(result)
     if name == "fig7":
-        trace = AutomotiveTraceConfig(
-            activation_count=3_000 if quick else 11_000, seed=seed
-        )
-        results = run_fig7(Fig7Config(trace=trace))
         if export_dir is not None:
-            _export_fig7(export_dir, results)
-        return render_fig7(results)
+            _export_fig7(export_dir, result)
+        return render_fig7(result)
     if name == "tab62":
-        result = run_overhead(irqs_per_load=500 if quick else 2_000, seed=seed)
         return render_overhead(result)
     if name == "validation":
-        result = run_validation(irq_count=1_000 if quick else 3_000, seed=seed)
         return render_validation(result)
     if name == "ablation":
-        boost = run_boost_ablation(irq_count=500 if quick else 1_500, seed=seed)
-        throttle = run_throttle_ablation(
-            irq_count=500 if quick else 1_500, seed=seed
-        )
-        depth = run_depth_ablation(
-            activation_count=1_500 if quick else 3_000
-        )
+        boost, throttle, depth = result
         return (render_boost_ablation(boost) + "\n\n"
                 + render_throttle_ablation(throttle) + "\n\n"
                 + render_depth_ablation(depth))
     if name == "design":
-        return render_design(run_design(irq_count=300 if quick else 600))
+        return render_design(result)
     if name == "sweep":
-        cycle = run_cycle_sweep(irq_count=300 if quick else 1_000, seed=seed)
-        dmin = run_dmin_sweep(irq_count=300 if quick else 1_000, seed=seed)
+        cycle, dmin = result
         return render_cycle_sweep(cycle) + "\n\n" + render_dmin_sweep(dmin)
     raise ValueError(f"unknown experiment {name!r}")
 
@@ -116,23 +102,59 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("experiment",
                         choices=EXPERIMENTS + ("all",),
                         help="experiment id (see DESIGN.md)")
-    parser.add_argument("--quick", action="store_true",
-                        help="reduced IRQ counts for a fast smoke run")
+    scale_group = parser.add_mutually_exclusive_group()
+    scale_group.add_argument("--quick", action="store_true",
+                             help="reduced IRQ counts for a fast smoke run")
+    scale_group.add_argument("--smoke", action="store_true",
+                             help="tiny IRQ counts for CI smoke tests")
+    scale_group.add_argument("--paper-scale", action="store_true",
+                             help="full paper-scale IRQ counts (the default; "
+                                  "spelled out for explicitness)")
     parser.add_argument("--seed", type=int, default=1,
-                        help="base random seed (default 1)")
+                        help="base random seed (default 1); per-task seeds "
+                             "are derived as seed + task index")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the campaign "
+                             "(default: os.cpu_count(); 1 = serial, "
+                             "in-process)")
     parser.add_argument("--export", metavar="DIR", default=None,
                         help="write CSV data (histograms, latency series) "
                              "to this directory")
+    parser.add_argument("--bench-json", metavar="FILE", default=None,
+                        help="append per-experiment wall times and the "
+                             "engine microbenchmark to this JSON history "
+                             "(e.g. BENCH_experiments.json)")
     args = parser.parse_args(argv)
 
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    scale = resolve_scale(quick=args.quick, smoke=args.smoke)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+
+    experiment_seconds: "dict[str, float]" = {}
     for name in names:
-        started = time.time()
-        output = _run_one(name, args.quick, args.seed, args.export)
-        elapsed = time.time() - started
-        print(f"=== {name} ({elapsed:.1f}s) " + "=" * max(0, 50 - len(name)))
+        started = time.perf_counter()
+        merged = run_campaign((name,), scale, seed=args.seed, jobs=jobs)
+        output = _render_one(name, merged[name], args.export)
+        elapsed = time.perf_counter() - started
+        experiment_seconds[name] = elapsed
+        print(f"[{name}] {elapsed:.1f}s (scale={scale.name}, jobs={jobs})",
+              file=sys.stderr)
+        print(f"=== {name} " + "=" * max(0, 50 - len(name)))
         print(output)
         print()
+
+    if args.bench_json is not None:
+        from repro.sim.benchmark import measure_engine_throughput
+
+        engine = measure_engine_throughput()
+        record = write_bench_json(
+            args.bench_json,
+            scale_name=scale.name, jobs=jobs,
+            experiment_seconds=experiment_seconds, engine=engine,
+        )
+        print(f"[bench] engine {record['engine']['events_per_second']:,.0f} "
+              f"events/s; history appended to {args.bench_json}",
+              file=sys.stderr)
     return 0
 
 

@@ -27,6 +27,7 @@ from repro.core.policy import MonitoredInterposing, NeverInterpose
 from repro.experiments.common import (
     PaperSystemConfig,
     ScenarioResult,
+    ScenarioSummary,
     run_irq_scenario,
 )
 from repro.metrics.report import render_table
@@ -40,8 +41,8 @@ class BoostAblationResult:
     dmin_us: float
     window_us: float
     bound_us: float                  # Eq. 14 budget over the window
-    monitored: ScenarioResult
-    boosted: ScenarioResult
+    monitored: ScenarioSummary
+    boosted: ScenarioSummary
     monitored_worst_interference_us: float
     boosted_worst_interference_us: float
 
@@ -92,12 +93,15 @@ def run_boost_ablation(system: "PaperSystemConfig | None" = None,
             for victim in (system.other_partition, system.housekeeping)
         ))
 
+    # The interference ledger audit needs the live hypervisors, so it
+    # happens here; the returned result is fully picklable (campaign
+    # task).
     return BoostAblationResult(
         dmin_us=dmin_us,
         window_us=window_us,
         bound_us=clock.cycles_to_us(bound.max_interference(width)),
-        monitored=monitored,
-        boosted=boosted,
+        monitored=monitored.lightweight(),
+        boosted=boosted.lightweight(),
         monitored_worst_interference_us=worst(monitored),
         boosted_worst_interference_us=worst(boosted),
     )
@@ -107,8 +111,8 @@ def run_boost_ablation(system: "PaperSystemConfig | None" = None,
 class ThrottleAblationResult:
     """Source throttling vs monitored interposing on the same bursts."""
 
-    throttled: ScenarioResult
-    monitored: ScenarioResult
+    throttled: ScenarioSummary
+    monitored: ScenarioSummary
     suppressed_irqs: int
 
     @property
@@ -154,11 +158,10 @@ def run_throttle_ablation(system: "PaperSystemConfig | None" = None,
     hv_throttled.run_until_irq_count(
         len(intervals), limit_cycles=round(600.0 * system.frequency_hz)
     )
-    from repro.experiments.common import ScenarioResult as _SR
     from repro.metrics.stats import summarize
     latencies = [clock.cycles_to_us(r.latency)
                  for r in hv_throttled.latency_records]
-    throttled = _SR(
+    throttled = ScenarioSummary(
         records=list(hv_throttled.latency_records),
         latencies_us=latencies,
         summary=summarize(latencies),
@@ -166,7 +169,7 @@ def run_throttle_ablation(system: "PaperSystemConfig | None" = None,
         context_switch_counts={
             r.value: c for r, c in hv_throttled.context_switches.counts.items()
         },
-        hypervisor=hv_throttled,
+        total_context_switches=hv_throttled.context_switches.total,
     )
 
     monitored = run_irq_scenario(
@@ -175,7 +178,7 @@ def run_throttle_ablation(system: "PaperSystemConfig | None" = None,
     )
     return ThrottleAblationResult(
         throttled=throttled,
-        monitored=monitored,
+        monitored=monitored.lightweight(),
         suppressed_irqs=throttle.suppressed_count,
     )
 
@@ -186,8 +189,8 @@ class DepthAblationResult:
 
     shallow_dmin_us: float
     deep_table_us: list[float]
-    shallow: ScenarioResult
-    deep: ScenarioResult
+    shallow: ScenarioSummary
+    deep: ScenarioSummary
 
     @property
     def deep_monitor_wins(self) -> bool:
@@ -239,8 +242,8 @@ def run_depth_ablation(system: "PaperSystemConfig | None" = None,
     return DepthAblationResult(
         shallow_dmin_us=clock.cycles_to_us(shallow_dmin),
         deep_table_us=[clock.cycles_to_us(value) for value in table],
-        shallow=shallow,
-        deep=deep,
+        shallow=shallow.lightweight(),
+        deep=deep.lightweight(),
     )
 
 

@@ -106,6 +106,39 @@ class PaperSystemConfig:
 
 
 @dataclass
+class ScenarioSummary:
+    """The picklable essence of one scenario run.
+
+    Mirrors the read-only API of :class:`ScenarioResult` minus the live
+    :class:`Hypervisor`, whose callbacks make it unpicklable.  Campaign
+    workers return summaries across process boundaries; anything that
+    needs the hypervisor itself (ledgers, guest kernels) must be
+    extracted inside the worker.
+    """
+
+    records: list[LatencyRecord]
+    latencies_us: list[float]
+    summary: LatencySummary
+    mode_counts: dict[str, int]
+    context_switch_counts: dict[str, int]
+    total_context_switches: int = 0
+
+    @property
+    def avg_latency_us(self) -> float:
+        return self.summary.mean
+
+    @property
+    def max_latency_us(self) -> float:
+        return self.summary.maximum
+
+    def mode_fraction(self, mode: HandlingMode) -> float:
+        total = sum(self.mode_counts.values())
+        if total == 0:
+            return 0.0
+        return self.mode_counts.get(mode.value, 0) / total
+
+
+@dataclass
 class ScenarioResult:
     """Everything a benchmark or test needs from one scenario run."""
 
@@ -129,6 +162,17 @@ class ScenarioResult:
         if total == 0:
             return 0.0
         return self.mode_counts.get(mode.value, 0) / total
+
+    def lightweight(self) -> ScenarioSummary:
+        """Strip the hypervisor so the result can cross process lines."""
+        return ScenarioSummary(
+            records=self.records,
+            latencies_us=self.latencies_us,
+            summary=self.summary,
+            mode_counts=self.mode_counts,
+            context_switch_counts=self.context_switch_counts,
+            total_context_switches=self.hypervisor.context_switches.total,
+        )
 
 
 def run_irq_scenario(system: PaperSystemConfig,

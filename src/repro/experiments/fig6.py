@@ -26,9 +26,10 @@ from repro.core.monitor import DeltaMinusMonitor
 from repro.core.policy import MonitoredInterposing, NeverInterpose
 from repro.experiments.common import (
     PaperSystemConfig,
-    ScenarioResult,
+    ScenarioSummary,
     run_irq_scenario,
 )
+from repro.experiments.scale import PAPER as PAPER_SCALE
 from repro.metrics.histogram import LatencyHistogram, fig6_histogram
 from repro.metrics.report import render_mode_breakdown
 from repro.metrics.stats import summarize
@@ -54,7 +55,9 @@ class Fig6Config:
 
     system: PaperSystemConfig = field(default_factory=PaperSystemConfig)
     loads: Sequence[float] = (0.01, 0.05, 0.10)
-    irqs_per_load: int = 5_000
+    #: Paper scale (see :mod:`repro.experiments.scale`): 5000 IRQs per
+    #: load x 3 loads = the 15000 IRQs per scenario of Section 6.1.
+    irqs_per_load: int = PAPER_SCALE.fig6_irqs_per_load
     seed: int = 1
 
 
@@ -63,7 +66,7 @@ class Fig6Result:
     """Cumulative result of one Fig. 6 scenario."""
 
     scenario: str
-    per_load: dict[float, ScenarioResult]
+    per_load: dict[float, ScenarioSummary]
     latencies_us: list[float]
     avg_latency_us: float
     max_latency_us: float
@@ -75,38 +78,55 @@ class Fig6Result:
         return {mode: count / total for mode, count in self.mode_counts.items()}
 
 
-def run_fig6(scenario: str, config: "Fig6Config | None" = None) -> Fig6Result:
-    """Run one Fig. 6 scenario cumulatively over all interrupt loads."""
+def run_fig6_load(scenario: str, config: Fig6Config,
+                  load_index: int) -> ScenarioSummary:
+    """Run one (scenario, interrupt load) cell of the Fig. 6 campaign.
+
+    This is the campaign runner's unit of parallel work: the per-load
+    seed is derived deterministically (``config.seed + load_index``,
+    exactly as the serial loop always has), so any scheduling of these
+    tasks reproduces the serial result bit for bit.
+    """
     if scenario not in SCENARIOS:
         raise ValueError(f"scenario must be one of {SCENARIOS}, got {scenario!r}")
-    config = config or Fig6Config()
     system = config.system
     clock = system.clock()
     c_bh = clock.us_to_cycles(system.bottom_handler_us)
+    load = config.loads[load_index]
+    lam = lambda_for_load(c_bh, load, system.costs)
+    intervals = exponential_interarrivals(
+        config.irqs_per_load, lam, seed=config.seed + load_index
+    )
+    if scenario == "c":
+        intervals = clip_to_dmin(intervals, lam)
+    if scenario == "a":
+        policy = NeverInterpose()
+    else:
+        # "For the monitored scenarios we have used λ = d_min."
+        policy = MonitoredInterposing(DeltaMinusMonitor.from_dmin(lam))
+    return run_irq_scenario(system, policy, intervals).lightweight()
 
-    per_load: dict[float, ScenarioResult] = {}
+
+def merge_fig6_loads(scenario: str, config: Fig6Config,
+                     summaries: "list[ScenarioSummary]") -> Fig6Result:
+    """Combine per-load summaries (in load order) into the cumulative
+    Fig. 6 result, as the paper accumulates all loads into one
+    histogram."""
+    if len(summaries) != len(config.loads):
+        raise ValueError(
+            f"expected {len(config.loads)} per-load results, got {len(summaries)}"
+        )
+    per_load: dict[float, ScenarioSummary] = {}
     latencies: list[float] = []
     mode_counts: dict[str, int] = {}
-    for index, load in enumerate(config.loads):
-        lam = lambda_for_load(c_bh, load, system.costs)
-        intervals = exponential_interarrivals(
-            config.irqs_per_load, lam, seed=config.seed + index
-        )
-        if scenario == "c":
-            intervals = clip_to_dmin(intervals, lam)
-        if scenario == "a":
-            policy = NeverInterpose()
-        else:
-            # "For the monitored scenarios we have used λ = d_min."
-            policy = MonitoredInterposing(DeltaMinusMonitor.from_dmin(lam))
-        result = run_irq_scenario(system, policy, intervals)
+    for load, result in zip(config.loads, summaries):
         per_load[load] = result
         latencies.extend(result.latencies_us)
         for mode, count in result.mode_counts.items():
             mode_counts[mode] = mode_counts.get(mode, 0) + count
-
     summary = summarize(latencies)
-    histogram = fig6_histogram(latencies, tdma_cycle_us=system.tdma_cycle_us)
+    histogram = fig6_histogram(latencies,
+                               tdma_cycle_us=config.system.tdma_cycle_us)
     return Fig6Result(
         scenario=scenario,
         per_load=per_load,
@@ -116,6 +136,16 @@ def run_fig6(scenario: str, config: "Fig6Config | None" = None) -> Fig6Result:
         mode_counts=mode_counts,
         histogram=histogram,
     )
+
+
+def run_fig6(scenario: str, config: "Fig6Config | None" = None) -> Fig6Result:
+    """Run one Fig. 6 scenario cumulatively over all interrupt loads."""
+    if scenario not in SCENARIOS:
+        raise ValueError(f"scenario must be one of {SCENARIOS}, got {scenario!r}")
+    config = config or Fig6Config()
+    summaries = [run_fig6_load(scenario, config, index)
+                 for index in range(len(config.loads))]
+    return merge_fig6_loads(scenario, config, summaries)
 
 
 def run_all_fig6(config: "Fig6Config | None" = None) -> dict[str, Fig6Result]:

@@ -27,7 +27,7 @@ from typing import Optional
 from repro.core.policy import SelfLearningInterposing
 from repro.experiments.common import (
     PaperSystemConfig,
-    ScenarioResult,
+    ScenarioSummary,
     run_irq_scenario,
 )
 from repro.metrics.report import render_table
@@ -62,11 +62,11 @@ class Fig7Config:
 
 @dataclass
 class Fig7CaseResult:
-    """One curve of Fig. 7."""
+    """One curve of Fig. 7 (fully picklable; campaign-task result)."""
 
     label: str
     load_fraction: Optional[float]
-    scenario: ScenarioResult
+    scenario: ScenarioSummary
     learn_count: int
     learn_avg_us: float
     run_avg_us: float
@@ -78,7 +78,13 @@ class Fig7CaseResult:
 
 def run_fig7_case(label: str, config: "Fig7Config | None" = None,
                   trace: "ActivationTrace | None" = None) -> Fig7CaseResult:
-    """Run one bound case of the Appendix-A experiment."""
+    """Run one bound case of the Appendix-A experiment.
+
+    This is the campaign runner's unit of parallel work: trace
+    generation is deterministic (and memoized), so a worker process
+    regenerating it from ``config.trace`` sees the same activations a
+    serial run shares across cases.
+    """
     if label not in FIG7_CASES:
         raise ValueError(f"case must be one of {sorted(FIG7_CASES)}, got {label!r}")
     config = config or Fig7Config()
@@ -92,7 +98,7 @@ def run_fig7_case(label: str, config: "Fig7Config | None" = None,
         learn_count=learn_count,
         load_fraction=FIG7_CASES[label],
     )
-    scenario = run_irq_scenario(config.system, policy, intervals)
+    scenario = run_irq_scenario(config.system, policy, intervals).lightweight()
     latencies = scenario.latencies_us
     learn_latencies = latencies[:learn_count]
     run_latencies = latencies[learn_count:]

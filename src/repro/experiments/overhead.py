@@ -75,37 +75,50 @@ class OverheadResult:
         return (with_ - without) / without
 
 
-def run_overhead(system: "PaperSystemConfig | None" = None,
-                 loads: Sequence[float] = (0.01, 0.05, 0.10),
-                 irqs_per_load: int = 2_000,
-                 seed: int = 1,
-                 monitor_depth: int = 1) -> OverheadResult:
-    """Measure the Section 6.2 overheads on the paper system."""
+def run_overhead_load(load_index: int,
+                      loads: Sequence[float] = (0.01, 0.05, 0.10),
+                      irqs_per_load: int = 2_000,
+                      seed: int = 1,
+                      system: "PaperSystemConfig | None" = None,
+                      ) -> ContextSwitchComparison:
+    """One interrupt load's with/without-monitoring comparison.
+
+    The campaign runner's unit of parallel work; the per-load seed is
+    ``seed + load_index``, matching the serial loop.
+    """
+    system = system or PaperSystemConfig()
+    clock = system.clock()
+    costs = system.costs
+    c_bh = clock.us_to_cycles(system.bottom_handler_us)
+    load = loads[load_index]
+    lam = lambda_for_load(c_bh, load, costs)
+    intervals = clip_to_dmin(
+        exponential_interarrivals(irqs_per_load, lam, seed=seed + load_index),
+        lam,
+    )
+    baseline = run_irq_scenario(system, NeverInterpose(), intervals)
+    monitored = run_irq_scenario(
+        system,
+        MonitoredInterposing(DeltaMinusMonitor.from_dmin(lam)),
+        intervals,
+    )
+    return ContextSwitchComparison(
+        load=load,
+        switches_without=baseline.hypervisor.context_switches.total,
+        switches_with=monitored.hypervisor.context_switches.total,
+    )
+
+
+def merge_overhead(comparisons: "list[ContextSwitchComparison]",
+                   system: "PaperSystemConfig | None" = None,
+                   monitor_depth: int = 1) -> OverheadResult:
+    """Assemble the static Section 6.2 accounting around the measured
+    per-load comparisons."""
     system = system or PaperSystemConfig()
     clock = system.clock()
     costs = system.costs
     c_th = clock.us_to_cycles(system.top_handler_us)
     c_bh = clock.us_to_cycles(system.bottom_handler_us)
-
-    comparisons = []
-    for index, load in enumerate(loads):
-        lam = lambda_for_load(c_bh, load, costs)
-        intervals = clip_to_dmin(
-            exponential_interarrivals(irqs_per_load, lam, seed=seed + index),
-            lam,
-        )
-        baseline = run_irq_scenario(system, NeverInterpose(), intervals)
-        monitored = run_irq_scenario(
-            system,
-            MonitoredInterposing(DeltaMinusMonitor.from_dmin(lam)),
-            intervals,
-        )
-        comparisons.append(ContextSwitchComparison(
-            load=load,
-            switches_without=baseline.hypervisor.context_switches.total,
-            switches_with=monitored.hypervisor.context_switches.total,
-        ))
-
     return OverheadResult(
         monitor_cycles=costs.monitor_cycles(),
         scheduler_cycles=costs.scheduler_cycles(),
@@ -117,6 +130,19 @@ def run_overhead(system: "PaperSystemConfig | None" = None,
         modelled_monitor_data_bytes=monitor_data_bytes(monitor_depth),
         context_switch_comparisons=comparisons,
     )
+
+
+def run_overhead(system: "PaperSystemConfig | None" = None,
+                 loads: Sequence[float] = (0.01, 0.05, 0.10),
+                 irqs_per_load: int = 2_000,
+                 seed: int = 1,
+                 monitor_depth: int = 1) -> OverheadResult:
+    """Measure the Section 6.2 overheads on the paper system."""
+    comparisons = [
+        run_overhead_load(index, loads, irqs_per_load, seed, system)
+        for index in range(len(loads))
+    ]
+    return merge_overhead(comparisons, system, monitor_depth)
 
 
 def render_overhead(result: OverheadResult,

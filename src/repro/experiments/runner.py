@@ -1,0 +1,277 @@
+"""Parallel campaign runner for the paper-reproduction experiments.
+
+Every experiment campaign decomposes into *tasks* that are independent
+by construction — each regenerates its own inputs from a
+deterministically derived seed (e.g. ``seed + load_index`` for the
+per-load Fig. 6 cells) instead of sharing mutable state:
+
+========== =====================================================
+campaign   task decomposition
+========== =====================================================
+fig6a/b/c  one task per interrupt load (3 each)
+fig7       one task per bound case a–d (4)
+tab62      one task per interrupt load (3)
+validation classic leg + monitored leg (2)
+ablation   boost / throttle / depth (3)
+sweep      one task per cycle-scale (4) + per d_min multiplier (5)
+design     single task (1)
+========== =====================================================
+
+Because the task functions derive their seeds exactly as the serial
+loops do, and the merge functions consume task results in the serial
+order, ``run_campaign(..., jobs=N)`` is **byte-identical** to
+``jobs=1`` for every N: parallelism only changes wall-clock time.
+
+Workload generation inside the workers is cheap and deterministic
+(:mod:`repro.workloads` memoizes interarrival arrays and traces), so
+tasks ship only small picklable configs in and
+:class:`~repro.experiments.common.ScenarioSummary`-style picklable
+results out; live :class:`~repro.hypervisor.hypervisor.Hypervisor`
+objects (which hold closures) never cross process boundaries — any
+audit that needs one (interference ledgers, context-switch counters)
+runs inside the task.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.experiments.ablation import (
+    run_boost_ablation,
+    run_depth_ablation,
+    run_throttle_ablation,
+)
+from repro.experiments.design import run_design
+from repro.experiments.fig6 import Fig6Config, merge_fig6_loads, run_fig6_load
+from repro.experiments.fig7 import FIG7_CASES, Fig7Config, run_fig7_case
+from repro.experiments.overhead import merge_overhead, run_overhead_load
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.sweep import run_cycle_sweep_point, run_dmin_sweep_point
+from repro.experiments.validation import (
+    merge_validation,
+    run_validation_classic,
+    run_validation_monitored,
+)
+from repro.workloads.automotive import AutomotiveTraceConfig
+
+#: Default interrupt loads shared by the fig6 and tab62 campaigns.
+DEFAULT_LOADS = (0.01, 0.05, 0.10)
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One independent, picklable unit of campaign work."""
+
+    experiment: str                     #: campaign id ("fig6a", "sweep", ...)
+    kind: str                           #: dispatch key into TASK_FUNCTIONS
+    kwargs: "dict[str, Any]" = field(default_factory=dict)
+
+    def __repr__(self) -> str:          # compact pool-debugging aid
+        return f"CampaignTask({self.experiment}:{self.kind})"
+
+
+#: Task dispatch registry.  Entries must be top-level functions so that
+#: worker processes can unpickle the reference regardless of the
+#: multiprocessing start method.
+TASK_FUNCTIONS: "dict[str, Callable[..., Any]]" = {
+    "fig6-load": run_fig6_load,
+    "fig7-case": run_fig7_case,
+    "overhead-load": run_overhead_load,
+    "validation-classic": run_validation_classic,
+    "validation-monitored": run_validation_monitored,
+    "ablation-boost": run_boost_ablation,
+    "ablation-throttle": run_throttle_ablation,
+    "ablation-depth": run_depth_ablation,
+    "sweep-cycle-point": run_cycle_sweep_point,
+    "sweep-dmin-point": run_dmin_sweep_point,
+    "design": run_design,
+}
+
+
+def execute_task(task: CampaignTask) -> Any:
+    """Run one campaign task (in-process or inside a pool worker)."""
+    return TASK_FUNCTIONS[task.kind](**task.kwargs)
+
+
+def plan_experiment(name: str, scale: ExperimentScale, seed: int,
+                    ) -> "tuple[list[CampaignTask], Callable[[list], Any]]":
+    """Decompose one experiment into tasks plus a merge function.
+
+    The merge function runs in the parent process and consumes the task
+    results *in task order* — the same order the serial loops produce —
+    so merged results do not depend on worker scheduling.
+    """
+    if name.startswith("fig6") and name[-1] in ("a", "b", "c"):
+        scenario = name[-1]
+        config = Fig6Config(irqs_per_load=scale.fig6_irqs_per_load, seed=seed)
+        tasks = [
+            CampaignTask(name, "fig6-load",
+                         {"scenario": scenario, "config": config,
+                          "load_index": index})
+            for index in range(len(config.loads))
+        ]
+        return tasks, lambda results: merge_fig6_loads(scenario, config,
+                                                       results)
+    if name == "fig7":
+        config = Fig7Config(trace=AutomotiveTraceConfig(
+            activation_count=scale.fig7_activations, seed=seed,
+        ))
+        labels = tuple(FIG7_CASES)
+        tasks = [
+            CampaignTask(name, "fig7-case", {"label": label, "config": config})
+            for label in labels
+        ]
+        return tasks, lambda results: dict(zip(labels, results))
+    if name == "tab62":
+        tasks = [
+            CampaignTask(name, "overhead-load",
+                         {"load_index": index, "loads": DEFAULT_LOADS,
+                          "irqs_per_load": scale.tab62_irqs_per_load,
+                          "seed": seed})
+            for index in range(len(DEFAULT_LOADS))
+        ]
+        return tasks, lambda results: merge_overhead(list(results))
+    if name == "validation":
+        tasks = [
+            CampaignTask(name, "validation-classic",
+                         {"irq_count": scale.validation_irqs, "seed": seed}),
+            CampaignTask(name, "validation-monitored",
+                         {"irq_count": scale.validation_irqs, "seed": seed}),
+        ]
+
+        def merge_validation_results(results: list) -> Any:
+            classic = results[0]
+            monitored, reports = results[1]
+            return merge_validation(classic, monitored, reports)
+
+        return tasks, merge_validation_results
+    if name == "ablation":
+        tasks = [
+            CampaignTask(name, "ablation-boost",
+                         {"irq_count": scale.ablation_irqs, "seed": seed}),
+            CampaignTask(name, "ablation-throttle",
+                         {"irq_count": scale.ablation_irqs, "seed": seed}),
+            CampaignTask(name, "ablation-depth",
+                         {"activation_count": scale.ablation_depth_activations}),
+        ]
+        return tasks, tuple
+    if name == "sweep":
+        cycle_scales = (0.5, 1.0, 2.0, 4.0)
+        multipliers = (1.0, 2.0, 4.0, 8.0, 16.0)
+        tasks = [
+            CampaignTask(name, "sweep-cycle-point",
+                         {"scale": value, "irq_count": scale.sweep_irqs,
+                          "seed": seed})
+            for value in cycle_scales
+        ] + [
+            CampaignTask(name, "sweep-dmin-point",
+                         {"multiplier": value, "irq_count": scale.sweep_irqs,
+                          "seed": seed})
+            for value in multipliers
+        ]
+        split = len(cycle_scales)
+        return tasks, lambda results: (results[:split], results[split:])
+    if name == "design":
+        tasks = [CampaignTask(name, "design",
+                              {"irq_count": scale.design_irqs})]
+        return tasks, lambda results: results[0]
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def plan_campaign(names: Sequence[str], scale: ExperimentScale, seed: int,
+                  ) -> "tuple[list[CampaignTask], dict[str, Callable]]":
+    """Flatten the selected experiments into one task list."""
+    tasks: "list[CampaignTask]" = []
+    merges: "dict[str, Callable]" = {}
+    for name in names:
+        experiment_tasks, merge = plan_experiment(name, scale, seed)
+        tasks.extend(experiment_tasks)
+        merges[name] = merge
+    return tasks, merges
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is cheapest and inherits the imported modules; fall back to
+    # the platform default (spawn) where fork is unavailable.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_campaign(names: Sequence[str], scale: ExperimentScale,
+                 seed: int = 1, jobs: "int | None" = None,
+                 ) -> "dict[str, Any]":
+    """Run the selected experiment campaigns, optionally in parallel.
+
+    ``jobs=1`` executes every task in-process, exactly like the
+    original serial loops.  ``jobs=N`` fans the tasks out over an
+    ``N``-worker process pool with ``chunksize=1`` (tasks have very
+    uneven durations, so greedy scheduling matters).  Either way the
+    merge consumes results in the fixed task order, so the returned
+    results — and anything rendered from them — are byte-identical.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    tasks, merges = plan_campaign(names, scale, seed)
+    if jobs <= 1 or len(tasks) <= 1:
+        results = [execute_task(task) for task in tasks]
+    else:
+        with _pool_context().Pool(min(jobs, len(tasks))) as pool:
+            results = pool.map(execute_task, tasks, chunksize=1)
+    merged: "dict[str, Any]" = {}
+    for name in names:
+        own = [result for task, result in zip(tasks, results)
+               if task.experiment == name]
+        merged[name] = merges[name](own)
+    return merged
+
+
+def write_bench_json(path: "str | os.PathLike[str]", *,
+                     scale_name: str, jobs: int,
+                     experiment_seconds: "Mapping[str, float]",
+                     engine: "Any | None" = None) -> dict:
+    """Append one run record to a ``BENCH_experiments.json`` history.
+
+    The file holds ``{"runs": [...]}`` with one record per campaign
+    run: per-experiment wall-clock seconds plus (when measured) the
+    engine microbenchmark's events/sec.  Appending instead of
+    overwriting keeps a regression trail the perf harness can diff.
+    """
+    record: "dict[str, Any]" = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
+        "scale": scale_name,
+        "jobs": jobs,
+        "experiment_wall_seconds": {
+            name: round(seconds, 3)
+            for name, seconds in experiment_seconds.items()
+        },
+        "total_wall_seconds": round(sum(experiment_seconds.values()), 3),
+    }
+    if engine is not None:
+        record["engine"] = {
+            "events_per_second": round(engine.events_per_second, 1),
+            "chain_events_per_second": round(
+                engine.chain_events_per_second, 1),
+            "pool_events_per_second": round(engine.pool_events_per_second, 1),
+            "events_executed": engine.events_executed,
+            "cancelled_events": engine.cancelled_events,
+            "elapsed_seconds": round(engine.elapsed_seconds, 4),
+        }
+    target = Path(path)
+    history: "dict[str, Any]" = {"runs": []}
+    if target.exists():
+        try:
+            loaded = json.loads(target.read_text())
+        except (OSError, ValueError):
+            loaded = None
+        if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+            history = loaded
+    history["runs"].append(record)
+    target.write_text(json.dumps(history, indent=2) + "\n")
+    return record

@@ -42,12 +42,17 @@ class CycleSweepPoint:
     interposed_measured_max_us: float
 
 
-def run_cycle_sweep(system: "PaperSystemConfig | None" = None,
-                    scales: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
-                    dmin_us: float = 1_444.0,
-                    irq_count: int = 1_000,
-                    seed: int = 17) -> list[CycleSweepPoint]:
-    """Scale the TDMA slot table and compare both mechanisms."""
+def run_cycle_sweep_point(scale: float,
+                          system: "PaperSystemConfig | None" = None,
+                          dmin_us: float = 1_444.0,
+                          irq_count: int = 1_000,
+                          seed: int = 17) -> CycleSweepPoint:
+    """One TDMA-cycle scale factor (the campaign runner's task unit).
+
+    The interarrival array is deterministic in (irq_count, dmin, seed),
+    so every point regenerates the identical stream the serial sweep
+    shares across its loop iterations.
+    """
     base = system or PaperSystemConfig()
     clock = base.clock()
     dmin = clock.us_to_cycles(dmin_us)
@@ -57,44 +62,52 @@ def run_cycle_sweep(system: "PaperSystemConfig | None" = None,
     intervals = clip_to_dmin(
         exponential_interarrivals(irq_count, dmin, seed=seed), dmin
     )
+    system_scaled = replace(
+        base,
+        app_slot_us=base.app_slot_us * scale,
+        housekeeping_slot_us=base.housekeeping_slot_us * scale,
+    )
+    cycle = clock.us_to_cycles(system_scaled.tdma_cycle_us)
+    slot = clock.us_to_cycles(system_scaled.app_slot_us)
+    classic_bound = classic_irq_latency(
+        model, c_th, c_bh, cycle, slot, costs=base.costs
+    )
+    interposed_bound = interposed_irq_latency(
+        model, c_th, c_bh, costs=base.costs
+    )
+    classic_run = run_irq_scenario(system_scaled, NeverInterpose(),
+                                   intervals)
+    interposed_run = run_irq_scenario(
+        system_scaled,
+        MonitoredInterposing(DeltaMinusMonitor.from_dmin(dmin)),
+        intervals,
+    )
+    return CycleSweepPoint(
+        scale=scale,
+        tdma_cycle_us=system_scaled.tdma_cycle_us,
+        classic_bound_us=clock.cycles_to_us(
+            classic_bound.response_time_cycles
+        ),
+        interposed_bound_us=clock.cycles_to_us(
+            interposed_bound.response_time_cycles
+        ),
+        classic_measured_avg_us=classic_run.avg_latency_us,
+        interposed_measured_avg_us=interposed_run.avg_latency_us,
+        classic_measured_max_us=classic_run.max_latency_us,
+        interposed_measured_max_us=interposed_run.max_latency_us,
+    )
 
-    points = []
-    for scale in scales:
-        system_scaled = replace(
-            base,
-            app_slot_us=base.app_slot_us * scale,
-            housekeeping_slot_us=base.housekeeping_slot_us * scale,
-        )
-        cycle = clock.us_to_cycles(system_scaled.tdma_cycle_us)
-        slot = clock.us_to_cycles(system_scaled.app_slot_us)
-        classic_bound = classic_irq_latency(
-            model, c_th, c_bh, cycle, slot, costs=base.costs
-        )
-        interposed_bound = interposed_irq_latency(
-            model, c_th, c_bh, costs=base.costs
-        )
-        classic_run = run_irq_scenario(system_scaled, NeverInterpose(),
-                                       intervals)
-        interposed_run = run_irq_scenario(
-            system_scaled,
-            MonitoredInterposing(DeltaMinusMonitor.from_dmin(dmin)),
-            intervals,
-        )
-        points.append(CycleSweepPoint(
-            scale=scale,
-            tdma_cycle_us=system_scaled.tdma_cycle_us,
-            classic_bound_us=clock.cycles_to_us(
-                classic_bound.response_time_cycles
-            ),
-            interposed_bound_us=clock.cycles_to_us(
-                interposed_bound.response_time_cycles
-            ),
-            classic_measured_avg_us=classic_run.avg_latency_us,
-            interposed_measured_avg_us=interposed_run.avg_latency_us,
-            classic_measured_max_us=classic_run.max_latency_us,
-            interposed_measured_max_us=interposed_run.max_latency_us,
-        ))
-    return points
+
+def run_cycle_sweep(system: "PaperSystemConfig | None" = None,
+                    scales: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+                    dmin_us: float = 1_444.0,
+                    irq_count: int = 1_000,
+                    seed: int = 17) -> list[CycleSweepPoint]:
+    """Scale the TDMA slot table and compare both mechanisms."""
+    return [
+        run_cycle_sweep_point(scale, system, dmin_us, irq_count, seed)
+        for scale in scales
+    ]
 
 
 @dataclass
@@ -109,6 +122,34 @@ class DminSweepPoint:
     delayed_fraction: float
 
 
+def run_dmin_sweep_point(multiplier: float,
+                         system: "PaperSystemConfig | None" = None,
+                         mean_interarrival_us: float = 1_444.0,
+                         irq_count: int = 1_000,
+                         seed: int = 19) -> DminSweepPoint:
+    """One d_min multiplier (the campaign runner's task unit)."""
+    system = system or PaperSystemConfig()
+    clock = system.clock()
+    mean = clock.us_to_cycles(mean_interarrival_us)
+    intervals = exponential_interarrivals(irq_count, mean, seed=seed)
+    c_bh_eff = system.effective_bottom_cycles(clock)
+    dmin = round(mean * multiplier)
+    run = run_irq_scenario(
+        system,
+        MonitoredInterposing(DeltaMinusMonitor.from_dmin(dmin)),
+        intervals,
+    )
+    total = len(run.records) or 1
+    return DminSweepPoint(
+        dmin_us=clock.cycles_to_us(dmin),
+        interference_budget_fraction=c_bh_eff / dmin,
+        avg_latency_us=run.avg_latency_us,
+        max_latency_us=run.max_latency_us,
+        interposed_fraction=run.mode_counts.get("interposed", 0) / total,
+        delayed_fraction=run.mode_counts.get("delayed", 0) / total,
+    )
+
+
 def run_dmin_sweep(system: "PaperSystemConfig | None" = None,
                    dmin_multipliers: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
                    mean_interarrival_us: float = 1_444.0,
@@ -120,30 +161,11 @@ def run_dmin_sweep(system: "PaperSystemConfig | None" = None,
     budget for other partitions but more delayed IRQs — the knob a
     system integrator turns to trade latency against independence.
     """
-    system = system or PaperSystemConfig()
-    clock = system.clock()
-    mean = clock.us_to_cycles(mean_interarrival_us)
-    intervals = exponential_interarrivals(irq_count, mean, seed=seed)
-    c_bh_eff = system.effective_bottom_cycles(clock)
-
-    points = []
-    for multiplier in dmin_multipliers:
-        dmin = round(mean * multiplier)
-        run = run_irq_scenario(
-            system,
-            MonitoredInterposing(DeltaMinusMonitor.from_dmin(dmin)),
-            intervals,
-        )
-        total = len(run.records) or 1
-        points.append(DminSweepPoint(
-            dmin_us=clock.cycles_to_us(dmin),
-            interference_budget_fraction=c_bh_eff / dmin,
-            avg_latency_us=run.avg_latency_us,
-            max_latency_us=run.max_latency_us,
-            interposed_fraction=run.mode_counts.get("interposed", 0) / total,
-            delayed_fraction=run.mode_counts.get("delayed", 0) / total,
-        ))
-    return points
+    return [
+        run_dmin_sweep_point(multiplier, system, mean_interarrival_us,
+                             irq_count, seed)
+        for multiplier in dmin_multipliers
+    ]
 
 
 def render_cycle_sweep(points: Sequence[CycleSweepPoint]) -> str:

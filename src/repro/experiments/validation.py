@@ -37,7 +37,7 @@ from repro.core.monitor import DeltaMinusMonitor
 from repro.core.policy import MonitoredInterposing, NeverInterpose
 from repro.experiments.common import (
     PaperSystemConfig,
-    ScenarioResult,
+    ScenarioSummary,
     run_irq_scenario,
 )
 from repro.metrics.report import render_table
@@ -54,8 +54,8 @@ class ValidationResult:
     interposed_bound_us: float
     interposed_measured_max_us: float
     independence_reports: list[IndependenceReport]
-    classic_result: ScenarioResult
-    interposed_result: ScenarioResult
+    classic_result: ScenarioSummary
+    interposed_result: ScenarioSummary
     classic_bound: IrqLatencyBound
     interposed_bound: IrqLatencyBound
 
@@ -82,14 +82,73 @@ class ValidationResult:
         return self.classic_bound_us / self.interposed_bound_us
 
 
-def run_validation(system: "PaperSystemConfig | None" = None,
-                   dmin_us: float = 1_444.0,
-                   irq_count: int = 3_000,
-                   seed: int = 7,
-                   window_widths_us: Sequence[float] = (
-                       100.0, 500.0, 2_000.0, 6_000.0, 14_000.0, 50_000.0
-                   )) -> ValidationResult:
-    """Run the validation experiment."""
+DEFAULT_WINDOW_WIDTHS_US: Sequence[float] = (
+    100.0, 500.0, 2_000.0, 6_000.0, 14_000.0, 50_000.0
+)
+
+
+def _validation_intervals(system: PaperSystemConfig, dmin_us: float,
+                          irq_count: int, seed: int) -> list[int]:
+    clock = system.clock()
+    dmin = clock.us_to_cycles(dmin_us)
+    return clip_to_dmin(
+        exponential_interarrivals(irq_count, dmin, seed=seed), dmin
+    )
+
+
+def run_validation_classic(system: "PaperSystemConfig | None" = None,
+                           dmin_us: float = 1_444.0,
+                           irq_count: int = 3_000,
+                           seed: int = 7) -> ScenarioSummary:
+    """The delayed-handling leg of the validation (campaign task)."""
+    system = system or PaperSystemConfig()
+    intervals = _validation_intervals(system, dmin_us, irq_count, seed)
+    return run_irq_scenario(system, NeverInterpose(), intervals).lightweight()
+
+
+def run_validation_monitored(
+        system: "PaperSystemConfig | None" = None,
+        dmin_us: float = 1_444.0,
+        irq_count: int = 3_000,
+        seed: int = 7,
+        window_widths_us: Sequence[float] = DEFAULT_WINDOW_WIDTHS_US,
+) -> "tuple[ScenarioSummary, list[IndependenceReport]]":
+    """The monitored leg plus its Eq. 14 ledger audit (campaign task).
+
+    The independence reports are produced here, inside the task,
+    because they need the hypervisor's interference ledger, which does
+    not cross process boundaries.
+    """
+    system = system or PaperSystemConfig()
+    clock = system.clock()
+    costs = system.costs
+    dmin = clock.us_to_cycles(dmin_us)
+    c_bh = clock.us_to_cycles(system.bottom_handler_us)
+    intervals = _validation_intervals(system, dmin_us, irq_count, seed)
+    monitored_run = run_irq_scenario(
+        system, MonitoredInterposing(DeltaMinusMonitor.from_dmin(dmin)),
+        intervals,
+    )
+    eq14 = DminInterferenceBound(
+        dmin, costs.effective_bottom_handler_cycles(c_bh)
+    )
+    widths = [clock.us_to_cycles(width) for width in window_widths_us]
+    reports = [
+        verify_sufficient_independence(
+            monitored_run.hypervisor.ledger, victim,
+            eq14.max_interference, widths,
+        )
+        for victim in (system.other_partition, system.housekeeping)
+    ]
+    return monitored_run.lightweight(), reports
+
+
+def merge_validation(classic_run: ScenarioSummary,
+                     monitored_run: ScenarioSummary,
+                     reports: "list[IndependenceReport]",
+                     system: "PaperSystemConfig | None" = None,
+                     dmin_us: float = 1_444.0) -> ValidationResult:
+    """Combine the two measured legs with the (pure) analytic bounds."""
     system = system or PaperSystemConfig()
     clock = system.clock()
     costs = system.costs
@@ -103,27 +162,6 @@ def run_validation(system: "PaperSystemConfig | None" = None,
     classic_bound = classic_irq_latency(model, c_th, c_bh, cycle, slot,
                                         costs=costs)
     interposed_bound = interposed_irq_latency(model, c_th, c_bh, costs=costs)
-
-    intervals = clip_to_dmin(
-        exponential_interarrivals(irq_count, dmin, seed=seed), dmin
-    )
-    classic_run = run_irq_scenario(system, NeverInterpose(), intervals)
-    monitored_run = run_irq_scenario(
-        system, MonitoredInterposing(DeltaMinusMonitor.from_dmin(dmin)),
-        intervals,
-    )
-
-    eq14 = DminInterferenceBound(
-        dmin, costs.effective_bottom_handler_cycles(c_bh)
-    )
-    widths = [clock.us_to_cycles(width) for width in window_widths_us]
-    reports = [
-        verify_sufficient_independence(
-            monitored_run.hypervisor.ledger, victim,
-            eq14.max_interference, widths,
-        )
-        for victim in (system.other_partition, system.housekeeping)
-    ]
 
     return ValidationResult(
         dmin_us=dmin_us,
@@ -139,6 +177,21 @@ def run_validation(system: "PaperSystemConfig | None" = None,
         classic_bound=classic_bound,
         interposed_bound=interposed_bound,
     )
+
+
+def run_validation(system: "PaperSystemConfig | None" = None,
+                   dmin_us: float = 1_444.0,
+                   irq_count: int = 3_000,
+                   seed: int = 7,
+                   window_widths_us: Sequence[float] = DEFAULT_WINDOW_WIDTHS_US,
+                   ) -> ValidationResult:
+    """Run the validation experiment."""
+    classic_run = run_validation_classic(system, dmin_us, irq_count, seed)
+    monitored_run, reports = run_validation_monitored(
+        system, dmin_us, irq_count, seed, window_widths_us
+    )
+    return merge_validation(classic_run, monitored_run, reports,
+                            system, dmin_us)
 
 
 def render_validation(result: ValidationResult) -> str:

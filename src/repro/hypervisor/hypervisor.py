@@ -42,7 +42,7 @@ handling — matching Fig. 6c, where no IRQ is delayed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.independence import InterferenceKind, InterferenceLedger
 from repro.core.policy import HandlingMode
@@ -95,7 +95,6 @@ class HypervisorStats:
     irqs_throttled: int = 0           # suppressed by a source-level throttle
 
 
-@dataclass
 class _InterposeWindow:
     """State of an in-progress interposed bottom-handler execution.
 
@@ -104,20 +103,30 @@ class _InterposeWindow:
     window executes the subscriber's bottom-handler dispatcher, which
     drains the IRQ queue head-first (FIFO), for at most
     ``budget_remaining`` cycles — the hypervisor-enforced ``C_BH`` of
-    the accepted activation.
+    the accepted activation.  ``__slots__`` because one is allocated
+    per interposed activation, which at paper scale is thousands per
+    run.
     """
 
-    trigger: IrqEvent
-    subscriber: Partition
-    host: str                          # partition whose slot is consumed
-    budget_remaining: int
-    started_at: int
-    active_event: Optional[IrqEvent] = None
-    current_execution: Optional[Execution] = None
-    #: A pseudo-window carries a *home* bottom handler over a deferred
-    #: TDMA boundary (bounded by the declared C_BH); it involves no
-    #: extra context switches and no foreign-slot classification.
-    pseudo: bool = False
+    __slots__ = ("trigger", "subscriber", "host", "budget_remaining",
+                 "started_at", "active_event", "current_execution", "pseudo")
+
+    def __init__(self, trigger: IrqEvent, subscriber: Partition, host: str,
+                 budget_remaining: int, started_at: int,
+                 active_event: Optional[IrqEvent] = None,
+                 current_execution: Optional[Execution] = None,
+                 pseudo: bool = False):
+        self.trigger = trigger
+        self.subscriber = subscriber
+        self.host = host                   # partition whose slot is consumed
+        self.budget_remaining = budget_remaining
+        self.started_at = started_at
+        self.active_event = active_event
+        self.current_execution = current_execution
+        # A pseudo-window carries a *home* bottom handler over a deferred
+        # TDMA boundary (bounded by the declared C_BH); it involves no
+        # extra context switches and no foreign-slot classification.
+        self.pseudo = pseudo
 
 
 class Hypervisor:
@@ -158,6 +167,9 @@ class Hypervisor:
         self._slot_line = self.config.slot_timer_line
         self._started = False
         self._ipc_router = None  # set via attach_ipc_router
+        # Per-completion hook installed by run_until_irq_count so the
+        # engine stops itself instead of being polled event by event.
+        self._completion_watcher: Optional[Callable[[LatencyRecord], None]] = None
 
         self.intc.set_dispatcher(self._irq_entry)
 
@@ -256,6 +268,14 @@ class Hypervisor:
 
         Returns the number of completed IRQs (which may be lower if the
         event queue ran dry or ``limit_cycles`` was hit first).
+
+        Completion is detected by a watcher invoked from
+        :meth:`_complete_event` that calls :meth:`SimulationEngine.stop`
+        once the target is reached, so the engine runs its inlined
+        dispatch loop instead of re-evaluating a predicate (and, for
+        filtered counts, rescanning ``latency_records``) around every
+        single event.  The time limit is likewise a scheduled stop
+        event rather than a per-event comparison.
         """
         self._require_started()
 
@@ -264,11 +284,34 @@ class Hypervisor:
                 return len(self.latency_records)
             return sum(1 for rec in self.latency_records if rec.source == source)
 
-        while completed() < count:
-            if limit_cycles is not None and self.engine.now >= limit_cycles:
-                break
-            if not self.engine.step():
-                break
+        engine = self.engine
+        remaining = count - completed()
+        if remaining <= 0:
+            return completed()
+        if limit_cycles is not None and engine.now >= limit_cycles:
+            return completed()
+
+        state = [remaining]
+
+        def watcher(record: LatencyRecord) -> None:
+            if source is not None and record.source != source:
+                return
+            left = state[0] - 1
+            state[0] = left
+            if left <= 0:
+                engine.stop()
+
+        limit_handle = None
+        self._completion_watcher = watcher
+        try:
+            if limit_cycles is not None:
+                limit_handle = engine.schedule_at(limit_cycles, engine.stop,
+                                                  label="irq-count-limit")
+            engine.run()
+        finally:
+            self._completion_watcher = None
+            if limit_handle is not None:
+                limit_handle.cancel()
         return completed()
 
     def _require_started(self) -> None:
@@ -805,14 +848,18 @@ class Hypervisor:
         self.trace.emit(now, TraceKind.BOTTOM_HANDLER_END,
                         source=event.source.name, seq=event.seq,
                         mode=mode.value, latency=event.latency)
-        self.latency_records.append(LatencyRecord(
+        record = LatencyRecord(
             source=event.source.name,
             seq=event.seq,
             arrival=event.arrival,
             completed_at=now,
             mode=mode,
             enforced_cut=event.enforced_cut,
-        ))
+        )
+        self.latency_records.append(record)
+        watcher = self._completion_watcher
+        if watcher is not None:
+            watcher(record)
         if event.source.activates_task is not None:
             if partition.guest is None:
                 raise RuntimeError(

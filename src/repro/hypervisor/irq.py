@@ -92,19 +92,31 @@ class IrqSource:
         return cycles
 
 
-@dataclass
 class IrqEvent:
-    """One emulated IRQ pushed into a partition's interrupt queue."""
+    """One emulated IRQ pushed into a partition's interrupt queue.
 
-    source: IrqSource
-    seq: int
-    arrival: int                      # top-handler activation timestamp
-    bh_remaining: int                 # unprocessed bottom-handler cycles
-    mode: Optional[HandlingMode] = None
-    completed_at: Optional[int] = None
-    #: True if enforcement cut the interposed execution short and the
-    #: remainder was processed later in the home slot.
-    enforced_cut: bool = False
+    A plain ``__slots__`` class rather than a dataclass: one instance
+    exists per simulated IRQ, so experiment campaigns allocate tens of
+    thousands of them and the dict-free layout measurably trims both
+    allocation time and memory on the hot path.
+    """
+
+    __slots__ = ("source", "seq", "arrival", "bh_remaining", "mode",
+                 "completed_at", "enforced_cut")
+
+    def __init__(self, source: IrqSource, seq: int, arrival: int,
+                 bh_remaining: int, mode: Optional[HandlingMode] = None,
+                 completed_at: Optional[int] = None,
+                 enforced_cut: bool = False):
+        self.source = source
+        self.seq = seq
+        self.arrival = arrival                # top-handler activation timestamp
+        self.bh_remaining = bh_remaining      # unprocessed bottom-handler cycles
+        self.mode = mode
+        self.completed_at = completed_at
+        # True if enforcement cut the interposed execution short and the
+        # remainder was processed later in the home slot.
+        self.enforced_cut = enforced_cut
 
     @property
     def done(self) -> bool:

@@ -7,11 +7,24 @@ are integer CPU cycles (see :mod:`repro.sim.clock`).
 
 The engine is deliberately free of any domain knowledge; the
 hypervisor, timers and interrupt controller are built on top of it.
+
+The dispatch loop is the hottest code in the whole reproduction —
+every simulated IRQ costs a dozen engine events — so the
+implementation is shaped around per-event constant factors:
+
+* heap entries are ``(time, seq, handle)`` tuples, so sift
+  comparisons are C-level tuple compares instead of a Python
+  ``__lt__`` call per comparison;
+* :meth:`run` and :meth:`run_until` inline the pop-skip-cancelled
+  loop instead of calling :meth:`step` per event, and touch handle
+  slots directly instead of going through properties;
+* the pending-event count is a live counter updated on
+  schedule/cancel/fire rather than an O(n) heap scan.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.sim.events import EventHandle
@@ -26,16 +39,23 @@ class SimulationEngine:
 
     Events scheduled for the same timestamp fire in scheduling order
     (stable FIFO), which makes simulations reproducible regardless of
-    heap internals.
+    heap internals: the unique, monotonically increasing ``seq`` in
+    each heap entry breaks timestamp ties.
     """
 
+    __slots__ = ("_heap", "_now", "_seq", "_events_executed", "_running",
+                 "_stop_requested", "_pending")
+
     def __init__(self):
-        self._heap: list[EventHandle] = []
+        # Heap of (time, seq, EventHandle); seq is unique, so the
+        # handle itself is never compared.
+        self._heap: list[tuple[int, int, EventHandle]] = []
         self._now: int = 0
         self._seq: int = 0
         self._events_executed: int = 0
         self._running = False
         self._stop_requested = False
+        self._pending: int = 0
 
     @property
     def now(self) -> int:
@@ -49,26 +69,43 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled-but-not-yet-fired events (including cancelled)."""
-        return sum(1 for ev in self._heap if ev.pending)
+        """Number of scheduled-but-not-yet-fired events (excluding cancelled).
 
+        Maintained as an exact live counter (O(1)); the heap itself may
+        still contain lazily-cancelled entries awaiting removal.
+        """
+        return self._pending
+
+    # ``_push``/``_handle`` defaults bind heappush/EventHandle as fast
+    # locals instead of per-call global lookups (stdlib-style hot-path
+    # idiom; callers must not pass them).
     def schedule(self, delay: int, callback: Callable[[], Any],
-                 label: Optional[str] = None) -> EventHandle:
+                 label: Optional[str] = None, *,
+                 _push=heappush, _handle=EventHandle) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, label)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = _handle(time, seq, callback, label, self)
+        self._pending += 1
+        _push(self._heap, (time, seq, handle))
+        return handle
 
     def schedule_at(self, time: int, callback: Callable[[], Any],
-                    label: Optional[str] = None) -> EventHandle:
+                    label: Optional[str] = None, *,
+                    _push=heappush, _handle=EventHandle) -> EventHandle:
         """Schedule ``callback`` to run at absolute time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule an event in the past (t={time}, now={self._now})"
             )
-        handle = EventHandle(time, self._seq, callback, label)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = _handle(time, seq, callback, label, self)
+        self._pending += 1
+        _push(self._heap, (time, seq, handle))
         return handle
 
     def step(self) -> bool:
@@ -77,12 +114,14 @@ class SimulationEngine:
         Returns True if an event was executed, False if the queue was
         exhausted (only cancelled or no events remained).
         """
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
+        heap = self._heap
+        while heap:
+            time, _seq, handle = heappop(heap)
+            if handle._cancelled:
                 continue
-            self._now = handle.time
-            handle._mark_fired()
+            self._now = time
+            handle._fired = True
+            self._pending -= 1
             self._events_executed += 1
             handle.callback()
             return True
@@ -96,13 +135,30 @@ class SimulationEngine:
         executed = 0
         self._running = True
         self._stop_requested = False
+        heap = self._heap
         try:
-            while not self._stop_requested:
-                if max_events is not None and executed >= max_events:
-                    break
-                if not self.step():
-                    break
-                executed += 1
+            if max_events is None:
+                while heap and not self._stop_requested:
+                    time, _seq, handle = heappop(heap)
+                    if handle._cancelled:
+                        continue
+                    self._now = time
+                    handle._fired = True
+                    self._pending -= 1
+                    self._events_executed += 1
+                    handle.callback()
+                    executed += 1
+            else:
+                while heap and not self._stop_requested and executed < max_events:
+                    time, _seq, handle = heappop(heap)
+                    if handle._cancelled:
+                        continue
+                    self._now = time
+                    handle._fired = True
+                    self._pending -= 1
+                    self._events_executed += 1
+                    handle.callback()
+                    executed += 1
         finally:
             self._running = False
         return executed
@@ -117,12 +173,19 @@ class SimulationEngine:
         executed = 0
         self._running = True
         self._stop_requested = False
+        heap = self._heap
         try:
             while not self._stop_requested:
-                handle = self._next_pending()
-                if handle is None or handle.time > time:
+                while heap and heap[0][2]._cancelled:
+                    heappop(heap)
+                if not heap or heap[0][0] > time:
                     break
-                self.step()
+                event_time, _seq, handle = heappop(heap)
+                self._now = event_time
+                handle._fired = True
+                self._pending -= 1
+                self._events_executed += 1
+                handle.callback()
                 executed += 1
         finally:
             self._running = False
@@ -137,10 +200,11 @@ class SimulationEngine:
 
     def _next_pending(self) -> Optional[EventHandle]:
         """Peek the earliest non-cancelled event, discarding dead entries."""
-        while self._heap:
-            handle = self._heap[0]
-            if handle.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            handle = heap[0][2]
+            if handle._cancelled:
+                heappop(heap)
                 continue
             return handle
         return None

@@ -3,7 +3,8 @@
 The engine hands out :class:`EventHandle` objects when callbacks are
 scheduled.  A handle can be cancelled, which marks the underlying heap
 entry dead without the cost of removing it from the heap (lazy
-deletion).
+deletion).  Cancellation also notifies the owning engine so its live
+pending-event counter stays exact without scanning the heap.
 """
 
 from __future__ import annotations
@@ -18,20 +19,29 @@ class EventHandle:
     and friends; user code only ever cancels or inspects them.
     """
 
-    __slots__ = ("time", "seq", "callback", "label", "_cancelled", "_fired")
+    __slots__ = ("time", "seq", "callback", "label", "_cancelled", "_fired",
+                 "_engine")
 
     def __init__(self, time: int, seq: int, callback: Callable[[], Any],
-                 label: Optional[str] = None):
+                 label: Optional[str] = None, engine=None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.label = label
         self._cancelled = False
         self._fired = False
+        # Back-reference used to keep the engine's pending counter
+        # exact on cancellation; None for free-standing handles.
+        self._engine = engine
 
     def cancel(self) -> None:
         """Cancel the event.  Cancelling an already-fired event is a no-op."""
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._pending -= 1
 
     @property
     def cancelled(self) -> bool:

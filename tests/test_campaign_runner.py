@@ -1,0 +1,156 @@
+"""Tests of the parallel campaign runner and the experiments CLI.
+
+The load-bearing guarantee: a campaign's results are **byte-identical**
+for every ``--jobs`` count, because per-task seeds are derived
+deterministically and merges consume task results in serial order.
+The identity test runs the full ``all`` campaign at smoke scale twice —
+serial and with a 4-worker pool — and diffs stdout and the exported
+CSVs byte for byte.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.experiments.runner import (
+    CampaignTask,
+    execute_task,
+    plan_campaign,
+    plan_experiment,
+    run_campaign,
+    write_bench_json,
+)
+from repro.experiments.scale import PAPER, QUICK, SMOKE, resolve_scale
+
+
+# ---------------------------------------------------------------- plan
+
+EXPECTED_TASK_COUNTS = {
+    "fig6a": 3, "fig6b": 3, "fig6c": 3,     # one per interrupt load
+    "fig7": 4,                              # bound cases a-d
+    "tab62": 3,                             # one per interrupt load
+    "validation": 2,                        # classic + monitored legs
+    "ablation": 3,                          # boost / throttle / depth
+    "sweep": 9,                             # 4 cycle + 5 d_min points
+    "design": 1,
+}
+
+
+def test_plan_covers_every_experiment():
+    tasks, merges = plan_campaign(EXPERIMENTS, SMOKE, seed=1)
+    assert set(merges) == set(EXPERIMENTS)
+    by_experiment = {}
+    for task in tasks:
+        by_experiment[task.experiment] = by_experiment.get(task.experiment, 0) + 1
+    assert by_experiment == EXPECTED_TASK_COUNTS
+    assert len(tasks) == sum(EXPECTED_TASK_COUNTS.values())
+
+
+def test_plan_unknown_experiment_rejected():
+    with pytest.raises(ValueError):
+        plan_experiment("fig9", SMOKE, seed=1)
+
+
+def test_tasks_are_picklable():
+    import pickle
+
+    tasks, _ = plan_campaign(EXPERIMENTS, SMOKE, seed=1)
+    for task in tasks:
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+
+
+def test_execute_task_dispatches():
+    task = CampaignTask("design", "design", {"irq_count": SMOKE.design_irqs})
+    result = execute_task(task)
+    assert result.simulated_misses_at_min == 0
+
+
+def test_resolve_scale():
+    assert resolve_scale() is PAPER
+    assert resolve_scale(quick=True) is QUICK
+    assert resolve_scale(smoke=True) is SMOKE
+    assert resolve_scale(quick=True, smoke=True) is SMOKE
+    # the paper's headline count: 3 loads x 5000 IRQs = 15000 per scenario
+    assert PAPER.fig6_irqs_per_load * 3 == 15_000
+
+
+def test_run_campaign_serial_equals_parallel_results():
+    serial = run_campaign(("validation",), SMOKE, seed=1, jobs=1)
+    parallel = run_campaign(("validation",), SMOKE, seed=1, jobs=2)
+    assert (serial["validation"].classic_measured_max_us
+            == parallel["validation"].classic_measured_max_us)
+    assert (serial["validation"].interposed_result.latencies_us
+            == parallel["validation"].interposed_result.latencies_us)
+
+
+# ----------------------------------------------------------------- CLI
+
+def _read_tree(directory):
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(directory.iterdir())
+    }
+
+
+def test_cli_outputs_byte_identical_across_jobs(tmp_path, capsys):
+    """The acceptance property: serial and --jobs 4 runs diff clean."""
+    export_serial = tmp_path / "serial"
+    export_parallel = tmp_path / "parallel"
+
+    assert main(["all", "--smoke", "--jobs", "1",
+                 "--export", str(export_serial)]) == 0
+    serial_stdout = capsys.readouterr().out
+    assert main(["all", "--smoke", "--jobs", "4",
+                 "--export", str(export_parallel)]) == 0
+    parallel_stdout = capsys.readouterr().out
+
+    assert serial_stdout == parallel_stdout
+    assert _read_tree(export_serial) == _read_tree(export_parallel)
+    # every experiment rendered something
+    for name in EXPERIMENTS:
+        assert f"=== {name} " in serial_stdout
+
+
+def test_cli_quick_smoke_target(capsys):
+    """The documented CI smoke target runs the full quick campaign."""
+    assert main(["all", "--quick", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert f"=== {name} " in out
+
+
+def test_cli_rejects_conflicting_scales(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig6a", "--quick", "--smoke"])
+    capsys.readouterr()
+
+
+# ---------------------------------------------------------- bench json
+
+def test_write_bench_json_appends_history(tmp_path):
+    target = tmp_path / "BENCH_experiments.json"
+    write_bench_json(target, scale_name="smoke", jobs=1,
+                     experiment_seconds={"fig6a": 1.25})
+    from repro.sim.benchmark import measure_engine_throughput
+
+    engine = measure_engine_throughput(events=2_000, repeats=1)
+    write_bench_json(target, scale_name="quick", jobs=4,
+                     experiment_seconds={"fig6a": 0.5, "fig7": 1.0},
+                     engine=engine)
+    history = json.loads(target.read_text())
+    assert [run["scale"] for run in history["runs"]] == ["smoke", "quick"]
+    assert history["runs"][0]["experiment_wall_seconds"] == {"fig6a": 1.25}
+    assert history["runs"][1]["total_wall_seconds"] == 1.5
+    assert history["runs"][1]["engine"]["events_per_second"] > 0
+    assert "engine" not in history["runs"][0]
+
+
+def test_write_bench_json_survives_corrupt_history(tmp_path):
+    target = tmp_path / "BENCH_experiments.json"
+    target.write_text("{not json")
+    write_bench_json(target, scale_name="smoke", jobs=1,
+                     experiment_seconds={"design": 0.1})
+    history = json.loads(target.read_text())
+    assert len(history["runs"]) == 1
