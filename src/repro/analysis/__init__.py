@@ -36,6 +36,7 @@ from repro.analysis.latency import (
     latency_improvement_factor,
     violated_irq_latency,
 )
+from repro.analysis.memo import MemoizedEventModel, memoize_model
 from repro.analysis.schedulability import (
     InterposingLoad,
     SchedulabilityReport,
@@ -73,6 +74,8 @@ __all__ = [
     "interposed_irq_latency",
     "latency_improvement_factor",
     "violated_irq_latency",
+    "MemoizedEventModel",
+    "memoize_model",
     "InterposingLoad",
     "SchedulabilityReport",
     "TaskSpec",

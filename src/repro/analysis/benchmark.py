@@ -1,0 +1,153 @@
+"""Analysis microbenchmark: memoized vs cold arrival-curve evaluation.
+
+The analysis paths re-evaluate η⁺/δ⁻ far more often than the curves
+change (see :mod:`repro.analysis.memo`): a busy-window family solved
+over several cost points keeps asking the same model for the same
+δ⁻(q) ladder, and the Eq. 14 audit evaluates the same interferer
+curves over the same window-width grid once per victim partition.
+For :class:`~repro.analysis.event_models.TraceEventModel` (O(n)
+sliding scans per evaluation) and
+:class:`~repro.analysis.event_models.DeltaTableEventModel` (search
+over the superadditive closure) that redundancy is the dominant cost.
+
+This benchmark builds a deterministic, paper-shaped workload — the
+d_min-sporadic stream analysed against a δ⁻-table interferer and a
+trace interferer over four cost points (Eqs. 11/12 and 16), followed
+by a multi-victim window-grid audit of the interferer curves (the
+Eq. 14 verification shape) — and runs it twice per round:
+
+* **cold** — raw models, ``memoize=False``: every evaluation hits the
+  model, the pre-memoization behaviour;
+* **memoized** — the models are wrapped once per round and shared
+  across the bound family and the audit passes, the default analysis
+  path.
+
+Rounds alternate cold/memoized so host noise hits both sides equally;
+the best round per side is reported.  Both sides must produce
+*identical* numbers — the result carries them so callers (the
+benchmark suite, ``--bench-json``) can assert the equivalence
+alongside the speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import accumulate
+
+from repro.analysis.event_models import (
+    DeltaTableEventModel,
+    PeriodicEventModel,
+    TraceEventModel,
+)
+from repro.analysis.latency import (
+    InterferingIrq,
+    classic_irq_latency,
+    interposed_irq_latency,
+)
+from repro.analysis.memo import memoize_model
+from repro.workloads.synthetic import clip_to_dmin, exponential_interarrivals
+
+#: Paper system constants in cycles (200 cycles/µs).
+_DMIN = 288_800                 # 1444 µs
+_TDMA_CYCLE = 2_800_000         # 14000 µs
+_SLOT = 1_200_000               # 6000 µs
+_COST_POINTS = ((400, 6_000), (400, 8_000), (400, 10_000), (400, 12_000))
+#: Eq. 14-audit window grid (25 µs .. 15 ms) and victim count.
+_AUDIT_WIDTHS = tuple(25_000 * k for k in range(1, 121))
+_AUDIT_VICTIMS = 3
+
+
+@dataclass(frozen=True)
+class AnalysisBenchmarkResult:
+    """Outcome of one memoized-vs-cold analysis A/B measurement."""
+
+    cold_seconds: float
+    memoized_seconds: float
+    bounds_per_round: int
+    #: Response-time bounds (cycles) + audit checksums computed by each
+    #: side, in the same fixed order — must be equal.
+    cold_values: "tuple[int, ...]"
+    memoized_values: "tuple[int, ...]"
+
+    @property
+    def speedup(self) -> float:
+        if self.memoized_seconds <= 0:
+            return float("inf")
+        return self.cold_seconds / self.memoized_seconds
+
+    @property
+    def identical(self) -> bool:
+        return self.cold_values == self.memoized_values
+
+
+def _build_models(trace_events: int):
+    """Fresh raw models per round (no internal state carried across)."""
+    own = PeriodicEventModel(_DMIN)
+    table_model = DeltaTableEventModel(
+        [8_000, 60_000, 200_000, 500_000, 1_100_000]
+    )
+    gaps = clip_to_dmin(
+        exponential_interarrivals(trace_events, 260_000, seed=23), 40_000
+    )
+    trace_model = TraceEventModel(list(accumulate(gaps)))
+    return own, table_model, trace_model
+
+
+def _run_round(trace_events: int, memoize: bool) -> "tuple[int, ...]":
+    own, table_model, trace_model = _build_models(trace_events)
+    if memoize:
+        # One wrapper per model, shared by the whole bound family and
+        # every audit pass — the way the analysis paths hold models.
+        own = memoize_model(own)
+        table_model = memoize_model(table_model)
+        trace_model = memoize_model(trace_model)
+    interferers = [
+        InterferingIrq(table_model, top_handler_cycles=400, monitored=True),
+        InterferingIrq(trace_model, top_handler_cycles=400),
+    ]
+    values = []
+    for c_th, c_bh in _COST_POINTS:
+        classic = classic_irq_latency(own, c_th, c_bh, _TDMA_CYCLE, _SLOT,
+                                      interferers=interferers,
+                                      memoize=memoize)
+        interposed = interposed_irq_latency(own, c_th, c_bh,
+                                            interferers=interferers,
+                                            memoize=memoize)
+        values.append(classic.response_time_cycles)
+        values.append(interposed.response_time_cycles)
+    # Eq. 14-shaped audit: each victim evaluates the same interferer
+    # curves over the same window grid.
+    for _ in range(_AUDIT_VICTIMS):
+        checksum = 0
+        for dt in _AUDIT_WIDTHS:
+            checksum += table_model.eta_plus(dt) + trace_model.eta_plus(dt)
+        values.append(checksum)
+    return tuple(values)
+
+
+def measure_analysis_speedup(repeats: int = 3,
+                             trace_events: int = 2_000,
+                             ) -> AnalysisBenchmarkResult:
+    """Interleaved A/B of the analysis path with memoization off/on."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    if trace_events < 2:
+        raise ValueError(f"need at least 2 trace events, got {trace_events}")
+    cold_values = memo_values = ()
+    best_cold = best_memo = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        cold_values = _run_round(trace_events, memoize=False)
+        best_cold = min(best_cold, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        memo_values = _run_round(trace_events, memoize=True)
+        best_memo = min(best_memo, time.perf_counter() - started)
+    return AnalysisBenchmarkResult(
+        cold_seconds=best_cold,
+        memoized_seconds=best_memo,
+        bounds_per_round=2 * len(_COST_POINTS),
+        cold_values=cold_values,
+        memoized_values=memo_values,
+    )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.analysis.event_models import EventModel
+from repro.analysis.memo import memoize_model
 
 
 class NotSchedulableError(RuntimeError):
@@ -82,30 +83,40 @@ class ResponseTimeResult:
 def response_time(own_cost: int, model: EventModel,
                   interference: Callable[[int], int],
                   q_limit: int = 10_000,
-                  horizon: int = 2**48) -> ResponseTimeResult:
+                  horizon: int = 2**48,
+                  memoize: bool = True) -> ResponseTimeResult:
     """Worst-case response time per Eqs. (3)–(5).
 
     ``model`` provides the analysed task's own activation pattern
     (δ⁻ for Eqs. 4/5); ``interference`` the combined interference term
     inside the window (everything except the ``q * own_cost`` part).
+    ``memoize=False`` evaluates the raw model on every call (the
+    cold baseline of the analysis A/B microbenchmark).
     """
+    if memoize:
+        model = memoize_model(model)
     busy_times: list[int] = []
     worst = 0
     critical_q = 1
     q = 1
+    # δ⁻(q) is evaluated once per q and carried into the next
+    # iteration, where it is this iteration's Eq. 4 check value.
+    delta_q = model.delta_minus(1)
     while True:
         w = busy_time(q, own_cost, interference, horizon=horizon)
         busy_times.append(w)
-        candidate = w - model.delta_minus(q)
+        candidate = w - delta_q
         if candidate > worst or q == 1:
             worst = max(worst, candidate)
             if candidate == worst:
                 critical_q = q
         # Eq. 4: the (q+1)-th activation belongs to the same busy
         # window iff it can arrive no later than the q-event busy time.
-        if model.delta_minus(q + 1) > w:
+        delta_next = model.delta_minus(q + 1)
+        if delta_next > w:
             break
         q += 1
+        delta_q = delta_next
         if q > q_limit:
             raise NotSchedulableError(
                 f"busy window spans more than {q_limit} activations; "

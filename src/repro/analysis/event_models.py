@@ -158,15 +158,15 @@ class DeltaTableEventModel:
             return 0
         # max q with δ⁻(q) < dt.  δ⁻ is non-decreasing and, past the
         # table, grows at least linearly with slope δ⁻(2) per event
-        # (when δ⁻(2) > 0), so the search terminates.
+        # (when δ⁻(2) > 0), so the extension below terminates and the
+        # answer is a binary search over the extended table.
         if self._table[0] == 0:
             raise ValueError(
                 "η⁺ is unbounded: the δ⁻ table permits simultaneous events"
             )
-        q = 1
-        while self.delta_minus(q + 1) < dt:
-            q += 1
-        return q
+        while self._delta[-1] < dt:
+            self._extend_to(len(self._delta))
+        return bisect.bisect_left(self._delta, dt) - 1
 
     def _extend_to(self, q: int) -> None:
         while len(self._delta) <= q:
@@ -199,6 +199,11 @@ class TraceEventModel:
         if len(stream) < 2:
             raise ValueError("need at least two events to build a trace model")
         self._times = stream
+        # Each δ⁻(q) is an O(n) sliding scan, and the busy-window /
+        # learning paths re-ask the same small q values many times, so
+        # computed spans go into a reusable prefix table:
+        # _delta_table[q - 2] holds δ⁻(q).
+        self._delta_table: "list[int]" = []
 
     @property
     def count(self) -> int:
@@ -212,10 +217,22 @@ class TraceEventModel:
             raise ValueError(
                 f"trace has only {len(self._times)} events, cannot span {q}"
             )
-        return min(
-            self._times[i + q - 1] - self._times[i]
-            for i in range(len(self._times) - q + 1)
-        )
+        table = self._delta_table
+        times = self._times
+        while len(table) < q - 1:
+            span = len(table) + 2
+            table.append(min(
+                times[i + span - 1] - times[i]
+                for i in range(len(times) - span + 1)
+            ))
+        return table[q - 2]
+
+    def delta_prefix_table(self, max_q: int) -> "tuple[int, ...]":
+        """δ⁻(2) … δ⁻(max_q) as one contiguous (cached) table."""
+        if max_q < 2:
+            return ()
+        self.delta_minus(max_q)
+        return tuple(self._delta_table[:max_q - 1])
 
     def eta_plus(self, dt: int) -> int:
         _check_dt(dt)
@@ -234,7 +251,7 @@ class TraceEventModel:
 
     def learned_delta_table(self, depth: int) -> list[int]:
         """The δ⁻ table Algorithm 1 would learn from this trace."""
-        return [self.delta_minus(k + 2) for k in range(depth)]
+        return list(self.delta_prefix_table(depth + 1))
 
     def __repr__(self) -> str:
         return f"TraceEventModel(n={len(self._times)})"

@@ -1,0 +1,77 @@
+"""Memoized arrival-curve evaluation.
+
+The busy-window fixed point (Eqs. 3–5) evaluates η⁺ of every
+interferer and δ⁻ of the analysed stream at the same handful of window
+sizes over and over: successive fixed-point iterates revisit converged
+windows, successive q analyses restart from overlapping windows, and
+the sweep/validation campaigns solve families of closely related
+bounds.  For closed-form models the redundancy is cheap arithmetic;
+for :class:`~repro.analysis.event_models.DeltaTableEventModel` (search
+over the superadditive closure) and
+:class:`~repro.analysis.event_models.TraceEventModel` (O(n) sliding
+scans) it dominates the analysis benchmarks.
+
+:class:`MemoizedEventModel` wraps any
+:class:`~repro.analysis.event_models.EventModel` with per-instance
+η⁺/δ⁻ result dictionaries.  The wrapper is *observably identical* to
+the wrapped model: results are cached only after a successful
+evaluation, argument validation still raises (uncached), and the
+property tests in ``tests/test_memoized_models.py`` pin the
+equivalence (including the η⁺/δ⁻ duality and monotonicity).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.event_models import EventModel
+
+
+class MemoizedEventModel:
+    """Cache η⁺/δ⁻ evaluations of a wrapped event model.
+
+    Event models are immutable after construction (their curves are
+    pure functions), so memoization can never go stale.  Wrapping an
+    already-wrapped model is the identity (see :func:`memoize_model`).
+    """
+
+    __slots__ = ("model", "_eta", "_delta")
+
+    def __init__(self, model: EventModel):
+        self.model = model
+        self._eta: "dict[int, int]" = {}
+        self._delta: "dict[int, int]" = {}
+
+    def eta_plus(self, dt: int) -> int:
+        try:
+            return self._eta[dt]
+        except KeyError:
+            value = self.model.eta_plus(dt)
+            self._eta[dt] = value
+            return value
+        except TypeError:
+            # unhashable dt: let the model produce its own error
+            return self.model.eta_plus(dt)
+
+    def delta_minus(self, q: int) -> int:
+        try:
+            return self._delta[q]
+        except KeyError:
+            value = self.model.delta_minus(q)
+            self._delta[q] = value
+            return value
+        except TypeError:
+            return self.model.delta_minus(q)
+
+    def cache_info(self) -> "dict[str, int]":
+        """Entry counts, for benchmarks and observability."""
+        return {"eta_entries": len(self._eta),
+                "delta_entries": len(self._delta)}
+
+    def __repr__(self) -> str:
+        return f"MemoizedEventModel({self.model!r})"
+
+
+def memoize_model(model: EventModel) -> MemoizedEventModel:
+    """Wrap ``model`` with memoization; idempotent on wrapped models."""
+    if isinstance(model, MemoizedEventModel):
+        return model
+    return MemoizedEventModel(model)

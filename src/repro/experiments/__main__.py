@@ -16,6 +16,16 @@ processes; results are byte-identical for every jobs count because the
 per-task seeds are derived deterministically and merges consume task
 results in serial order.  Timing goes to stderr so stdout can be
 diffed across jobs counts.
+
+Campaigns are **incremental** by default: task results are replayed
+from a content-addressed on-disk cache (see
+:mod:`repro.experiments.cache`) whenever kind, kwargs — which carry
+the scale and seed — and the transitive source fingerprint all match
+a previous run, so a warm re-run skips simulation entirely while
+staying byte-identical.  ``--no-cache`` restores the recompute-always
+behaviour, ``--cache-dir`` relocates the store (default:
+``.repro-cache`` or ``$REPRO_CACHE_DIR``), ``--cache-stats`` prints
+hit/miss/bytes/time-saved counters to stderr.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from repro.experiments.ablation import (
     render_depth_ablation,
     render_throttle_ablation,
 )
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.design import render_design
 from repro.experiments.fig6 import render_fig6
 from repro.experiments.fig7 import render_fig7
@@ -117,6 +128,15 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="worker processes for the campaign "
                              "(default: os.cpu_count(); 1 = serial, "
                              "in-process)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="directory of the incremental result cache "
+                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every task; do not read or write "
+                             "the result cache")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print cache hit/miss/bytes/time-saved "
+                             "statistics to stderr")
     parser.add_argument("--export", metavar="DIR", default=None,
                         help="write CSV data (histograms, latency series) "
                              "to this directory")
@@ -129,11 +149,15 @@ def main(argv: "list[str] | None" = None) -> int:
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     scale = resolve_scale(quick=args.quick, smoke=args.smoke)
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
 
     experiment_seconds: "dict[str, float]" = {}
     for name in names:
         started = time.perf_counter()
-        merged = run_campaign((name,), scale, seed=args.seed, jobs=jobs)
+        merged = run_campaign((name,), scale, seed=args.seed, jobs=jobs,
+                              cache=cache)
         output = _render_one(name, merged[name], args.export)
         elapsed = time.perf_counter() - started
         experiment_seconds[name] = elapsed
@@ -143,17 +167,27 @@ def main(argv: "list[str] | None" = None) -> int:
         print(output)
         print()
 
+    if args.cache_stats and cache is not None:
+        print(f"[cache] {cache.stats.render()} dir={cache.directory}",
+              file=sys.stderr)
+
     if args.bench_json is not None:
+        from repro.analysis.benchmark import measure_analysis_speedup
         from repro.sim.benchmark import measure_engine_throughput
 
         engine = measure_engine_throughput()
+        analysis = measure_analysis_speedup()
         record = write_bench_json(
             args.bench_json,
             scale_name=scale.name, jobs=jobs,
             experiment_seconds=experiment_seconds, engine=engine,
+            analysis=analysis,
+            cache=cache.stats if cache is not None else None,
         )
         print(f"[bench] engine {record['engine']['events_per_second']:,.0f} "
-              f"events/s; history appended to {args.bench_json}",
+              f"events/s; analysis memoization "
+              f"{record['analysis']['speedup']:.1f}x; "
+              f"history appended to {args.bench_json}",
               file=sys.stderr)
     return 0
 

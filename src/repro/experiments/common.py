@@ -114,6 +114,12 @@ class ScenarioSummary:
     workers return summaries across process boundaries; anything that
     needs the hypervisor itself (ledgers, guest kernels) must be
     extracted inside the worker.
+
+    The same pickle round trip is what the incremental result cache
+    (:mod:`repro.experiments.cache`) replays across *runs*, so task
+    results must stay plain picklable data — no callbacks, no open
+    handles — and task kwargs must stay canonicalizable dataclasses /
+    primitives so their content fingerprint is stable.
     """
 
     records: list[LatencyRecord]

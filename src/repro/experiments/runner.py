@@ -37,16 +37,23 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
+
+try:
+    import fcntl
+except ImportError:                         # non-POSIX: no advisory locks
+    fcntl = None
 
 from repro.experiments.ablation import (
     run_boost_ablation,
     run_depth_ablation,
     run_throttle_ablation,
 )
+from repro.experiments.cache import ResultCache, task_fingerprint
 from repro.experiments.design import run_design
 from repro.experiments.fig6 import Fig6Config, merge_fig6_loads, run_fig6_load
 from repro.experiments.fig7 import FIG7_CASES, Fig7Config, run_fig7_case
@@ -97,6 +104,13 @@ TASK_FUNCTIONS: "dict[str, Callable[..., Any]]" = {
 def execute_task(task: CampaignTask) -> Any:
     """Run one campaign task (in-process or inside a pool worker)."""
     return TASK_FUNCTIONS[task.kind](**task.kwargs)
+
+
+def execute_task_timed(task: CampaignTask) -> "tuple[Any, float]":
+    """Run one task and report its compute time (for cache entries)."""
+    started = time.perf_counter()
+    result = execute_task(task)
+    return result, time.perf_counter() - started
 
 
 def plan_experiment(name: str, scale: ExperimentScale, seed: int,
@@ -204,8 +218,48 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def _run_tasks(tasks: "list[CampaignTask]", jobs: int) -> "list":
+    """Execute tasks in task order, in-process or over a pool."""
+    if jobs <= 1 or len(tasks) <= 1:
+        return [execute_task(task) for task in tasks]
+    with _pool_context().Pool(min(jobs, len(tasks))) as pool:
+        return pool.map(execute_task, tasks, chunksize=1)
+
+
+def _run_tasks_cached(tasks: "list[CampaignTask]", jobs: int,
+                      cache: ResultCache) -> "list":
+    """Replay cached task results; compute and store only the misses.
+
+    Fingerprints and stored pickles fully determine each result (see
+    :mod:`repro.experiments.cache`), so a partial or fully warm run is
+    byte-identical to a cold one; when every task hits, no worker pool
+    is spawned at all.
+    """
+    keys = [task_fingerprint(task) for task in tasks]
+    results: "list[Any]" = [None] * len(tasks)
+    miss_indices: "list[int]" = []
+    for index, key in enumerate(keys):
+        entry = cache.load(key)
+        if entry is not None:
+            results[index] = entry.result
+        else:
+            miss_indices.append(index)
+    if miss_indices:
+        miss_tasks = [tasks[index] for index in miss_indices]
+        if jobs <= 1 or len(miss_tasks) <= 1:
+            timed = [execute_task_timed(task) for task in miss_tasks]
+        else:
+            with _pool_context().Pool(min(jobs, len(miss_tasks))) as pool:
+                timed = pool.map(execute_task_timed, miss_tasks, chunksize=1)
+        for index, (result, elapsed) in zip(miss_indices, timed):
+            cache.store(keys[index], tasks[index], result, elapsed)
+            results[index] = result
+    return results
+
+
 def run_campaign(names: Sequence[str], scale: ExperimentScale,
                  seed: int = 1, jobs: "int | None" = None,
+                 cache: "ResultCache | None" = None,
                  ) -> "dict[str, Any]":
     """Run the selected experiment campaigns, optionally in parallel.
 
@@ -215,15 +269,19 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
     uneven durations, so greedy scheduling matters).  Either way the
     merge consumes results in the fixed task order, so the returned
     results — and anything rendered from them — are byte-identical.
+
+    With a :class:`~repro.experiments.cache.ResultCache`, tasks whose
+    content fingerprint matches a stored entry replay the pickled
+    result instead of simulating; only misses run (and are stored).
+    Results remain byte-identical to an uncached run.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
     tasks, merges = plan_campaign(names, scale, seed)
-    if jobs <= 1 or len(tasks) <= 1:
-        results = [execute_task(task) for task in tasks]
+    if cache is None:
+        results = _run_tasks(tasks, jobs)
     else:
-        with _pool_context().Pool(min(jobs, len(tasks))) as pool:
-            results = pool.map(execute_task, tasks, chunksize=1)
+        results = _run_tasks_cached(tasks, jobs, cache)
     merged: "dict[str, Any]" = {}
     for name in names:
         own = [result for task, result in zip(tasks, results)
@@ -235,13 +293,27 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
 def write_bench_json(path: "str | os.PathLike[str]", *,
                      scale_name: str, jobs: int,
                      experiment_seconds: "Mapping[str, float]",
-                     engine: "Any | None" = None) -> dict:
+                     engine: "Any | None" = None,
+                     analysis: "Any | None" = None,
+                     cache: "Any | None" = None) -> dict:
     """Append one run record to a ``BENCH_experiments.json`` history.
 
     The file holds ``{"runs": [...]}`` with one record per campaign
     run: per-experiment wall-clock seconds plus (when measured) the
-    engine microbenchmark's events/sec.  Appending instead of
-    overwriting keeps a regression trail the perf harness can diff.
+    engine microbenchmark's events/sec, the analysis memoization A/B
+    (``analysis``: an
+    :class:`~repro.analysis.benchmark.AnalysisBenchmarkResult`) and
+    the campaign's cache statistics (``cache``: a
+    :class:`~repro.experiments.cache.CacheStats` or a plain mapping) —
+    consecutive records of the same campaign show the cold→warm
+    trajectory.  Appending instead of overwriting keeps a regression
+    trail the perf harness can diff.
+
+    The read-modify-write append is safe against concurrent campaigns:
+    the whole cycle runs under an advisory lock on a ``.lock`` sibling
+    (where the platform supports it) and the updated history lands via
+    temp file + ``os.replace``, so a reader never sees a torn file and
+    two writers cannot drop each other's records.
     """
     record: "dict[str, Any]" = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
@@ -263,15 +335,50 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
             "cancelled_events": engine.cancelled_events,
             "elapsed_seconds": round(engine.elapsed_seconds, 4),
         }
+    if analysis is not None:
+        record["analysis"] = {
+            "cold_seconds": round(analysis.cold_seconds, 4),
+            "memoized_seconds": round(analysis.memoized_seconds, 4),
+            "speedup": round(analysis.speedup, 2),
+            "bounds_per_round": analysis.bounds_per_round,
+            "identical_bounds": analysis.identical,
+        }
+    if cache is not None:
+        record["cache"] = (dict(cache) if isinstance(cache, Mapping)
+                           else cache.as_dict())
+
     target = Path(path)
-    history: "dict[str, Any]" = {"runs": []}
-    if target.exists():
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    lock_path = target.with_name(target.name + ".lock")
+    with open(lock_path, "a+") as lock_file:
+        if fcntl is not None:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
         try:
-            loaded = json.loads(target.read_text())
-        except (OSError, ValueError):
-            loaded = None
-        if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
-            history = loaded
-    history["runs"].append(record)
-    target.write_text(json.dumps(history, indent=2) + "\n")
+            history: "dict[str, Any]" = {"runs": []}
+            if target.exists():
+                try:
+                    loaded = json.loads(target.read_text())
+                except (OSError, ValueError):
+                    loaded = None
+                if (isinstance(loaded, dict)
+                        and isinstance(loaded.get("runs"), list)):
+                    history = loaded
+            history["runs"].append(record)
+            fd, tmp_name = tempfile.mkstemp(dir=target.parent or ".",
+                                            prefix=target.name,
+                                            suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(json.dumps(history, indent=2) + "\n")
+                os.replace(tmp_name, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        finally:
+            if fcntl is not None:
+                fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
     return record

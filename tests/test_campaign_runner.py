@@ -99,10 +99,10 @@ def test_cli_outputs_byte_identical_across_jobs(tmp_path, capsys):
     export_serial = tmp_path / "serial"
     export_parallel = tmp_path / "parallel"
 
-    assert main(["all", "--smoke", "--jobs", "1",
+    assert main(["all", "--smoke", "--jobs", "1", "--no-cache",
                  "--export", str(export_serial)]) == 0
     serial_stdout = capsys.readouterr().out
-    assert main(["all", "--smoke", "--jobs", "4",
+    assert main(["all", "--smoke", "--jobs", "4", "--no-cache",
                  "--export", str(export_parallel)]) == 0
     parallel_stdout = capsys.readouterr().out
 
@@ -115,10 +115,33 @@ def test_cli_outputs_byte_identical_across_jobs(tmp_path, capsys):
 
 def test_cli_quick_smoke_target(capsys):
     """The documented CI smoke target runs the full quick campaign."""
-    assert main(["all", "--quick", "--jobs", "2"]) == 0
+    assert main(["all", "--quick", "--jobs", "2", "--no-cache"]) == 0
     out = capsys.readouterr().out
     for name in EXPERIMENTS:
         assert f"=== {name} " in out
+
+
+def test_quick_campaign_warm_cache_speedup(tmp_path, capsys):
+    """Acceptance: a warm re-run of the quick campaign is >= 5x faster
+    than the cold run and byte-identical to it, with the wall times and
+    cache counters recorded in the bench JSON history."""
+    cache_dir = str(tmp_path / "cache")
+    bench = tmp_path / "BENCH_experiments.json"
+    argv = ["all", "--quick", "--jobs", "2",
+            "--cache-dir", cache_dir, "--cache-stats",
+            "--bench-json", str(bench)]
+
+    assert main(argv) == 0
+    cold_stdout = capsys.readouterr().out
+    assert main(argv) == 0
+    warm_stdout = capsys.readouterr().out
+
+    assert warm_stdout == cold_stdout
+    cold, warm = json.loads(bench.read_text())["runs"]
+    assert cold["cache"]["hits"] == 0 and cold["cache"]["misses"] > 0
+    assert warm["cache"]["misses"] == 0
+    assert warm["cache"]["hits"] == cold["cache"]["misses"]
+    assert cold["total_wall_seconds"] >= 5 * warm["total_wall_seconds"]
 
 
 def test_cli_rejects_conflicting_scales(capsys):

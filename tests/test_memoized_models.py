@@ -1,0 +1,165 @@
+"""Property tests: memoized event models are observably identical.
+
+:class:`repro.analysis.memo.MemoizedEventModel` must be a pure
+transparent cache: for any model and any interleaving of η⁺/δ⁻
+queries (repeats included, so the cached path is actually exercised)
+the wrapper returns exactly what the raw model returns, preserves the
+η⁺/δ⁻ duality and monotonicity, raises on the same invalid inputs,
+and never re-evaluates a cached point.  The busy-window solver's
+``memoize`` flag must likewise never change a response-time result.
+"""
+
+from itertools import accumulate
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.busy_window import NotSchedulableError, response_time
+from repro.analysis.event_models import (
+    DeltaTableEventModel,
+    PeriodicEventModel,
+    TraceEventModel,
+    check_duality,
+)
+from repro.analysis.memo import MemoizedEventModel, memoize_model
+
+
+@st.composite
+def periodic_models(draw):
+    period = draw(st.integers(1, 500))
+    jitter = draw(st.integers(0, 1_000))
+    dmin = draw(st.integers(1, period))
+    return PeriodicEventModel(period, jitter, dmin)
+
+
+@st.composite
+def delta_table_models(draw):
+    # first entry >= 1 keeps η⁺ bounded
+    table = draw(st.lists(st.integers(1, 300), min_size=1, max_size=6))
+    return DeltaTableEventModel(table)
+
+
+@st.composite
+def trace_models(draw):
+    gaps = draw(st.lists(st.integers(1, 200), min_size=1, max_size=40))
+    return TraceEventModel([0] + list(accumulate(gaps)))
+
+
+event_models = st.one_of(periodic_models(), delta_table_models(),
+                         trace_models())
+
+
+@given(model=event_models,
+       dts=st.lists(st.integers(0, 5_000), min_size=1, max_size=30),
+       qs=st.lists(st.integers(0, 40), min_size=1, max_size=30))
+@settings(max_examples=150, deadline=None)
+def test_memoized_model_is_observably_identical(model, dts, qs):
+    memoized = memoize_model(model)
+    max_q = model.count if isinstance(model, TraceEventModel) else None
+    # interleave and repeat every query so both cold and cached paths run
+    for dt in dts + dts:
+        assert memoized.eta_plus(dt) == model.eta_plus(dt)
+    for q in qs + qs:
+        if max_q is not None and q > max_q:
+            with pytest.raises(ValueError):
+                memoized.delta_minus(q)
+            continue
+        assert memoized.delta_minus(q) == model.delta_minus(q)
+
+
+@given(model=event_models)
+@settings(max_examples=100, deadline=None)
+def test_memoized_model_duality_and_monotonicity(model):
+    memoized = memoize_model(model)
+    max_q = model.count if isinstance(model, TraceEventModel) else 30
+    deltas = [memoized.delta_minus(q) for q in range(1, max_q + 1)]
+    assert deltas == sorted(deltas)                 # δ⁻ non-decreasing
+    etas = [memoized.eta_plus(dt) for dt in range(0, 600, 7)]
+    assert etas == sorted(etas)                     # η⁺ non-decreasing
+    assert check_duality(memoized, max_q=max_q)
+
+
+class _CountingModel:
+    """Minimal event model that counts raw evaluations."""
+
+    def __init__(self):
+        self.eta_calls = 0
+        self.delta_calls = 0
+
+    def eta_plus(self, dt):
+        if dt < 0:
+            raise ValueError("negative window")
+        self.eta_calls += 1
+        return dt // 10
+
+    def delta_minus(self, q):
+        if q < 0:
+            raise ValueError("negative count")
+        self.delta_calls += 1
+        return 0 if q <= 1 else (q - 1) * 10
+
+
+def test_memoized_model_evaluates_each_point_once():
+    raw = _CountingModel()
+    memoized = memoize_model(raw)
+    for _ in range(5):
+        assert memoized.eta_plus(100) == 10
+        assert memoized.delta_minus(3) == 20
+    assert raw.eta_calls == 1
+    assert raw.delta_calls == 1
+    assert memoized.cache_info() == {"eta_entries": 1, "delta_entries": 1}
+
+
+def test_memoized_model_does_not_cache_errors():
+    raw = _CountingModel()
+    memoized = memoize_model(raw)
+    for _ in range(2):
+        with pytest.raises(ValueError):
+            memoized.eta_plus(-1)
+        with pytest.raises(ValueError):
+            memoized.delta_minus(-1)
+    assert raw.eta_calls == 0               # raised before counting
+
+
+def test_memoize_model_is_idempotent():
+    wrapped = memoize_model(PeriodicEventModel(10))
+    assert memoize_model(wrapped) is wrapped
+    assert isinstance(wrapped, MemoizedEventModel)
+
+
+@given(model=periodic_models(),
+       own_cost=st.integers(1, 50),
+       top_cost=st.integers(0, 10))
+@settings(max_examples=100, deadline=None)
+def test_response_time_memoize_flag_is_observably_identical(
+        model, own_cost, top_cost):
+    """Eqs. 3–5 give the same result with and without memoization."""
+
+    def interference(window):
+        return model.eta_plus(window) * top_cost
+
+    outcomes = []
+    for memoize in (False, True):
+        try:
+            result = response_time(own_cost, model, interference,
+                                   q_limit=500, memoize=memoize)
+            outcomes.append(("ok", result.response_time, result.q_max,
+                             result.busy_times, result.critical_q))
+        except NotSchedulableError:
+            outcomes.append(("not-schedulable",))
+    assert outcomes[0] == outcomes[1]
+
+
+@given(times=st.lists(st.integers(0, 10_000), min_size=2, max_size=60,
+                      unique=True))
+@settings(max_examples=100, deadline=None)
+def test_trace_delta_prefix_table_matches_point_queries(times):
+    """The reusable δ⁻ prefix table equals fresh per-q scans."""
+    cached = TraceEventModel(times)
+    table = cached.delta_prefix_table(cached.count)
+    assert len(table) == cached.count - 1
+    for q in range(2, cached.count + 1):
+        fresh = TraceEventModel(times)     # no prefix table filled yet
+        assert table[q - 2] == fresh.delta_minus(q) == cached.delta_minus(q)
+    assert cached.delta_prefix_table(1) == ()
