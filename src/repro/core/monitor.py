@@ -103,6 +103,21 @@ class DeltaMinusMonitor:
         return self._denied
 
     @property
+    def checked_count(self) -> int:
+        """Total ``check_and_accept`` decisions (accepted + denied)."""
+        return self._accepted + self._denied
+
+    def stats(self) -> "dict[str, int]":
+        """Decision counters as plain data (for telemetry collection)."""
+        return {
+            "accepted": self._accepted,
+            "denied": self._denied,
+            "checked": self._accepted + self._denied,
+            "depth": len(self._table),
+            "dmin": self._table[0],
+        }
+
+    @property
     def history(self) -> list[int]:
         """Timestamps of the most recent accepted events, newest first."""
         return list(self._history)

@@ -26,6 +26,14 @@ staying byte-identical.  ``--no-cache`` restores the recompute-always
 behaviour, ``--cache-dir`` relocates the store (default:
 ``.repro-cache`` or ``$REPRO_CACHE_DIR``), ``--cache-stats`` prints
 hit/miss/bytes/time-saved counters to stderr.
+
+Observability (see docs/reproducing.md): ``--metrics-json FILE``
+writes a metrics snapshot of the run (engine, hypervisor/IRQ path,
+cache, campaign runner), ``--trace-out FILE`` writes a Chrome
+trace-event JSON (open in ui.perfetto.dev) from a deterministic
+traced replay at this run's scale and seed, ``--progress`` streams
+per-task completion to stderr, and ``--export DIR`` also drops a
+``manifest.json`` describing the invocation next to the CSVs.
 """
 
 from __future__ import annotations
@@ -45,13 +53,23 @@ from repro.experiments.design import render_design
 from repro.experiments.fig6 import render_fig6
 from repro.experiments.fig7 import render_fig7
 from repro.experiments.overhead import render_overhead
-from repro.experiments.runner import run_campaign, write_bench_json
+from repro.experiments.runner import (
+    CampaignTelemetry,
+    run_campaign,
+    write_bench_json,
+)
 from repro.experiments.scale import resolve_scale
 from repro.experiments.sweep import render_cycle_sweep, render_dmin_sweep
 from repro.experiments.validation import render_validation
 
 EXPERIMENTS = ("fig6a", "fig6b", "fig6c", "fig7", "tab62",
                "validation", "ablation", "sweep", "design")
+
+#: Convenience aliases expanding to several experiment ids.
+ALIASES = {
+    "all": EXPERIMENTS,
+    "fig6": ("fig6a", "fig6b", "fig6c"),
+}
 
 
 def _render_one(name: str, result, export_dir: "str | None") -> str:
@@ -105,14 +123,91 @@ def _export_fig7(export_dir: str, results) -> None:
                          case.series_us, column="avg_latency_us")
 
 
+def _write_manifest(export_dir: str, *, names, scale, args, jobs: int,
+                    experiment_seconds: "dict[str, float]",
+                    cache) -> None:
+    """Drop a ``manifest.json`` describing the run next to the CSVs."""
+    import json
+    from pathlib import Path
+
+    import repro
+
+    directory = Path(export_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "format": "repro-export-manifest-v1",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
+        "version": repro.__version__,
+        "experiments": list(names),
+        "scale": scale.name,
+        "seed": args.seed,
+        "jobs": jobs,
+        "experiment_wall_seconds": {
+            name: round(seconds, 3)
+            for name, seconds in experiment_seconds.items()
+        },
+        "total_wall_seconds": round(sum(experiment_seconds.values()), 3),
+        "cache": cache.stats.as_dict() if cache is not None else None,
+        "files": sorted(path.name for path in directory.glob("*.csv")),
+    }
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=2) + "\n"
+    )
+
+
+def _export_telemetry(args, *, scale, jobs: int, cache, telemetry) -> None:
+    """Serve ``--trace-out`` / ``--metrics-json``.
+
+    Campaign workers run with tracing disabled, so the Chrome trace and
+    the reconciled hypervisor counters come from a deterministic traced
+    replay of one representative fig6b cell at this run's scale and
+    seed (see :mod:`repro.telemetry.run`); cache and campaign-runner
+    metrics are sampled from the run itself.
+    """
+    from repro.telemetry import (
+        MetricsRegistry,
+        collect_cache,
+        collect_campaign,
+        export_traced_run,
+        run_traced_fig6,
+    )
+
+    registry = MetricsRegistry() if args.metrics_json is not None else None
+    replay = run_traced_fig6(irqs=scale.fig6_irqs_per_load, seed=args.seed)
+    written = export_traced_run(
+        replay,
+        trace_path=args.trace_out,
+        registry=registry,
+        campaign=telemetry,
+        metadata={"scale": scale.name, "jobs": jobs},
+    )
+    if args.trace_out is not None:
+        print(f"[trace] {written} events -> {args.trace_out} "
+              f"(traced fig6b replay, scale={scale.name}, "
+              f"seed={args.seed})", file=sys.stderr)
+    if registry is not None:
+        if cache is not None:
+            collect_cache(registry, cache.stats)
+        if telemetry is not None:
+            collect_campaign(registry, telemetry)
+        registry.write_json(args.metrics_json, metadata={
+            "scale": scale.name,
+            "seed": args.seed,
+            "jobs": jobs,
+            "traced_replay": f"fig6{replay.scenario}",
+        })
+        print(f"[metrics] snapshot -> {args.metrics_json}", file=sys.stderr)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's tables and figures.",
     )
     parser.add_argument("experiment",
-                        choices=EXPERIMENTS + ("all",),
-                        help="experiment id (see DESIGN.md)")
+                        choices=EXPERIMENTS + tuple(ALIASES),
+                        help="experiment id (see DESIGN.md), or an alias: "
+                             "'all', 'fig6' (= fig6a+fig6b+fig6c)")
     scale_group = parser.add_mutually_exclusive_group()
     scale_group.add_argument("--quick", action="store_true",
                              help="reduced IRQ counts for a fast smoke run")
@@ -144,20 +239,44 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="append per-experiment wall times and the "
                              "engine microbenchmark to this JSON history "
                              "(e.g. BENCH_experiments.json)")
+    parser.add_argument("--metrics-json", metavar="FILE", default=None,
+                        help="write a metrics snapshot (engine, "
+                             "hypervisor/IRQ path, cache, campaign runner) "
+                             "as JSON after the run")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON (open in "
+                             "ui.perfetto.dev) of a deterministic traced "
+                             "replay of the fig6b scenario at this run's "
+                             "scale and seed")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-task completion progress to stderr")
     args = parser.parse_args(argv)
 
-    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    names = ALIASES.get(args.experiment, (args.experiment,))
     scale = resolve_scale(quick=args.quick, smoke=args.smoke)
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
 
+    instrument = (args.metrics_json is not None
+                  or args.trace_out is not None
+                  or args.bench_json is not None
+                  or args.progress)
+    telemetry = CampaignTelemetry() if instrument else None
+
+    def show_progress(done: int, total: int, task) -> None:
+        print(f"[{task.experiment}] task {done}/{total} done ({task.kind})",
+              file=sys.stderr)
+
+    progress = show_progress if args.progress else None
+
     experiment_seconds: "dict[str, float]" = {}
     for name in names:
         started = time.perf_counter()
         merged = run_campaign((name,), scale, seed=args.seed, jobs=jobs,
-                              cache=cache)
+                              cache=cache, telemetry=telemetry,
+                              progress=progress)
         output = _render_one(name, merged[name], args.export)
         elapsed = time.perf_counter() - started
         experiment_seconds[name] = elapsed
@@ -171,6 +290,15 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"[cache] {cache.stats.render()} dir={cache.directory}",
               file=sys.stderr)
 
+    if args.export is not None:
+        _write_manifest(args.export, names=names, scale=scale, args=args,
+                        jobs=jobs, experiment_seconds=experiment_seconds,
+                        cache=cache)
+
+    if args.metrics_json is not None or args.trace_out is not None:
+        _export_telemetry(args, scale=scale, jobs=jobs, cache=cache,
+                          telemetry=telemetry)
+
     if args.bench_json is not None:
         from repro.analysis.benchmark import measure_analysis_speedup
         from repro.sim.benchmark import measure_engine_throughput
@@ -183,6 +311,7 @@ def main(argv: "list[str] | None" = None) -> int:
             experiment_seconds=experiment_seconds, engine=engine,
             analysis=analysis,
             cache=cache.stats if cache is not None else None,
+            telemetry=telemetry,
         )
         print(f"[bench] engine {record['engine']['events_per_second']:,.0f} "
               f"events/s; analysis memoization "

@@ -238,6 +238,10 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Misses where an entry *existed* but was unreadable, corrupt, or
+    #: written by an incompatible format — i.e. a stored result was
+    #: discarded rather than simply absent.
+    invalidations: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     #: Recorded compute time of the hits — the wall clock a warm run
@@ -260,6 +264,7 @@ class CacheStats:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "invalidations": self.invalidations,
             "hit_rate": round(self.hit_rate, 4),
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
@@ -307,11 +312,13 @@ class ResultCache:
             payload = pickle.loads(blob)
         except Exception:
             self.stats.misses += 1
+            self.stats.invalidations += 1
             return None
         if (not isinstance(payload, dict)
                 or payload.get("format") != CACHE_FORMAT
                 or payload.get("key") != key):
             self.stats.misses += 1
+            self.stats.invalidations += 1
             return None
         self.stats.hits += 1
         self.stats.bytes_read += len(blob)

@@ -43,6 +43,7 @@ class PaperSystemConfig:
     irq_name: str = "irq0"
     costs: CostModel = field(default_factory=CostModel)
     trace_enabled: bool = False
+    record_cpu_segments: bool = False
     defer_slot_switch_for_window: bool = True
 
     def clock(self) -> Clock:
@@ -85,6 +86,7 @@ class PaperSystemConfig:
             frequency_hz=self.frequency_hz,
             costs=self.costs,
             trace_enabled=self.trace_enabled,
+            record_cpu_segments=self.record_cpu_segments,
             defer_slot_switch_for_window=self.defer_slot_switch_for_window,
         )
         hv = Hypervisor(self.slot_table(clock), hv_config)

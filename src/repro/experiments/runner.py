@@ -113,6 +113,87 @@ def execute_task_timed(task: CampaignTask) -> "tuple[Any, float]":
     return result, time.perf_counter() - started
 
 
+@dataclass
+class TaskTelemetry:
+    """Execution record of one campaign task (for ``--metrics-json``)."""
+
+    experiment: str
+    kind: str
+    index: int                      #: position in the campaign task list
+    cached: bool                    #: replayed from the result cache
+    wall_seconds: float             #: compute time (0.0 for cache hits)
+    queue_wait_seconds: float       #: submission -> worker pickup delay
+    started_offset_seconds: float   #: pickup time relative to campaign start
+    worker_pid: int
+
+
+@dataclass
+class CampaignTelemetry:
+    """Aggregated runner telemetry for one ``run_campaign`` call.
+
+    Filled in-place when passed to :func:`run_campaign`; purely
+    observational — the instrumented execution path preserves the
+    byte-identity guarantee (ordered ``imap`` over the same task list,
+    merges still consume results in task order).
+    """
+
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    tasks: "list[TaskTelemetry]" = field(default_factory=list)
+    #: monotonic instant of the first run_campaign call sharing this
+    #: object; all started_offset_seconds are measured against it, so
+    #: per-worker task timelines stay monotone across a multi-campaign
+    #: CLI run (one trace track per worker pid).
+    epoch: "float | None" = None
+
+    @property
+    def busy_seconds(self) -> float:
+        """Summed compute time of executed (non-cached) tasks."""
+        return sum(task.wall_seconds for task in self.tasks
+                   if not task.cached)
+
+    @property
+    def worker_utilization(self) -> float:
+        """``busy / (wall * jobs)`` — 1.0 means no worker ever idled."""
+        if self.wall_seconds <= 0.0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.wall_seconds * self.jobs))
+
+    def as_dict(self) -> "dict[str, Any]":
+        computed = [task for task in self.tasks if not task.cached]
+        waits = [task.queue_wait_seconds for task in computed]
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "busy_seconds": round(self.busy_seconds, 4),
+            "worker_utilization": round(self.worker_utilization, 4),
+            "tasks_computed": len(computed),
+            "tasks_cached": len(self.tasks) - len(computed),
+            "max_task_seconds": round(
+                max((task.wall_seconds for task in computed), default=0.0), 4
+            ),
+            "mean_queue_wait_seconds": round(
+                sum(waits) / len(waits), 4
+            ) if waits else 0.0,
+        }
+
+
+def _execute_task_profiled(item: "tuple[CampaignTask, float]",
+                           ) -> "tuple[Any, float, float, int]":
+    """Pool target for instrumented runs: result + timing + worker pid.
+
+    ``time.monotonic`` is a system-wide clock on the supported
+    platforms, so offsets against the parent's campaign epoch are
+    meaningful inside fork/spawn workers.
+    """
+    task, epoch = item
+    pickup_offset = time.monotonic() - epoch
+    started = time.perf_counter()
+    result = execute_task(task)
+    elapsed = time.perf_counter() - started
+    return result, pickup_offset, elapsed, os.getpid()
+
+
 def plan_experiment(name: str, scale: ExperimentScale, seed: int,
                     ) -> "tuple[list[CampaignTask], Callable[[list], Any]]":
     """Decompose one experiment into tasks plus a merge function.
@@ -226,8 +307,63 @@ def _run_tasks(tasks: "list[CampaignTask]", jobs: int) -> "list":
         return pool.map(execute_task, tasks, chunksize=1)
 
 
-def _run_tasks_cached(tasks: "list[CampaignTask]", jobs: int,
-                      cache: ResultCache) -> "list":
+def _record_task(telemetry: "CampaignTelemetry | None",
+                 progress: "Callable[[int, int, CampaignTask], None] | None",
+                 task: CampaignTask, index: int, done: int, total: int, *,
+                 cached: bool, wall: float, wait: float, offset: float,
+                 pid: int) -> None:
+    if telemetry is not None:
+        telemetry.tasks.append(TaskTelemetry(
+            experiment=task.experiment, kind=task.kind, index=index,
+            cached=cached, wall_seconds=wall, queue_wait_seconds=wait,
+            started_offset_seconds=offset, worker_pid=pid,
+        ))
+    if progress is not None:
+        progress(done, total, task)
+
+
+def _run_tasks_instrumented(
+    tasks: "list[CampaignTask]", jobs: int,
+    telemetry: "CampaignTelemetry | None",
+    progress: "Callable[[int, int, CampaignTask], None] | None",
+    epoch: "float | None" = None,
+) -> "list":
+    """Like :func:`_run_tasks`, recording per-task telemetry.
+
+    Uses ``pool.imap`` (ordered) so results arrive — and merges later
+    consume them — in exactly the task-list order of the plain path;
+    only timing observation differs.  Queue waits are measured against
+    this call's start; started offsets against ``epoch`` (the shared
+    campaign epoch), so worker timelines stay monotone when several
+    campaigns feed one telemetry object.
+    """
+    call_started = time.monotonic()
+    base = 0.0 if epoch is None else call_started - epoch
+    items = [(task, call_started) for task in tasks]
+    results: "list[Any]" = []
+    total = len(tasks)
+
+    def consume(profiled_iter: "Any") -> None:
+        for index, (result, offset, elapsed, pid) in enumerate(profiled_iter):
+            results.append(result)
+            _record_task(telemetry, progress, tasks[index], index,
+                         index + 1, total, cached=False, wall=elapsed,
+                         wait=offset, offset=base + offset, pid=pid)
+
+    if jobs <= 1 or len(tasks) <= 1:
+        consume(map(_execute_task_profiled, items))
+    else:
+        with _pool_context().Pool(min(jobs, len(tasks))) as pool:
+            consume(pool.imap(_execute_task_profiled, items, chunksize=1))
+    return results
+
+
+def _run_tasks_cached(
+    tasks: "list[CampaignTask]", jobs: int, cache: ResultCache,
+    telemetry: "CampaignTelemetry | None" = None,
+    progress: "Callable[[int, int, CampaignTask], None] | None" = None,
+    epoch: "float | None" = None,
+) -> "list":
     """Replay cached task results; compute and store only the misses.
 
     Fingerprints and stored pickles fully determine each result (see
@@ -235,6 +371,10 @@ def _run_tasks_cached(tasks: "list[CampaignTask]", jobs: int,
     byte-identical to a cold one; when every task hits, no worker pool
     is spawned at all.
     """
+    call_started = time.monotonic()
+    base = 0.0 if epoch is None else call_started - epoch
+    total = len(tasks)
+    done = 0
     keys = [task_fingerprint(task) for task in tasks]
     results: "list[Any]" = [None] * len(tasks)
     miss_indices: "list[int]" = []
@@ -242,11 +382,40 @@ def _run_tasks_cached(tasks: "list[CampaignTask]", jobs: int,
         entry = cache.load(key)
         if entry is not None:
             results[index] = entry.result
+            done += 1
+            _record_task(telemetry, progress, tasks[index], index, done,
+                         total, cached=True, wall=0.0, wait=0.0,
+                         offset=base + time.monotonic() - call_started,
+                         pid=os.getpid())
         else:
             miss_indices.append(index)
     if miss_indices:
         miss_tasks = [tasks[index] for index in miss_indices]
-        if jobs <= 1 or len(miss_tasks) <= 1:
+        instrumented = telemetry is not None or progress is not None
+        if instrumented:
+            items = [(task, call_started) for task in miss_tasks]
+
+            def consume(profiled_iter: "Any") -> "list[tuple[Any, float]]":
+                nonlocal done
+                timed = []
+                for position, (result, offset, elapsed, pid) in enumerate(
+                        profiled_iter):
+                    index = miss_indices[position]
+                    timed.append((result, elapsed))
+                    done += 1
+                    _record_task(telemetry, progress, tasks[index], index,
+                                 done, total, cached=False, wall=elapsed,
+                                 wait=offset, offset=base + offset, pid=pid)
+                return timed
+
+            if jobs <= 1 or len(miss_tasks) <= 1:
+                timed = consume(map(_execute_task_profiled, items))
+            else:
+                with _pool_context().Pool(min(jobs, len(miss_tasks))) as pool:
+                    timed = consume(
+                        pool.imap(_execute_task_profiled, items, chunksize=1)
+                    )
+        elif jobs <= 1 or len(miss_tasks) <= 1:
             timed = [execute_task_timed(task) for task in miss_tasks]
         else:
             with _pool_context().Pool(min(jobs, len(miss_tasks))) as pool:
@@ -260,6 +429,9 @@ def _run_tasks_cached(tasks: "list[CampaignTask]", jobs: int,
 def run_campaign(names: Sequence[str], scale: ExperimentScale,
                  seed: int = 1, jobs: "int | None" = None,
                  cache: "ResultCache | None" = None,
+                 telemetry: "CampaignTelemetry | None" = None,
+                 progress: "Callable[[int, int, CampaignTask], None] | None"
+                 = None,
                  ) -> "dict[str, Any]":
     """Run the selected experiment campaigns, optionally in parallel.
 
@@ -274,19 +446,39 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
     content fingerprint matches a stored entry replay the pickled
     result instead of simulating; only misses run (and are stored).
     Results remain byte-identical to an uncached run.
+
+    ``telemetry`` (a :class:`CampaignTelemetry`, filled in-place) and
+    ``progress`` (called as ``progress(done, total, task)`` after each
+    task completes, in the parent process) select an instrumented
+    execution path that observes per-task timing without changing the
+    ordered-results contract.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
+    started = time.monotonic()
     tasks, merges = plan_campaign(names, scale, seed)
+    epoch: "float | None" = None
+    if telemetry is not None:
+        telemetry.jobs = jobs
+        if telemetry.epoch is None:
+            telemetry.epoch = started
+        epoch = telemetry.epoch
     if cache is None:
-        results = _run_tasks(tasks, jobs)
+        if telemetry is not None or progress is not None:
+            results = _run_tasks_instrumented(tasks, jobs, telemetry,
+                                              progress, epoch)
+        else:
+            results = _run_tasks(tasks, jobs)
     else:
-        results = _run_tasks_cached(tasks, jobs, cache)
+        results = _run_tasks_cached(tasks, jobs, cache, telemetry, progress,
+                                    epoch)
     merged: "dict[str, Any]" = {}
     for name in names:
         own = [result for task, result in zip(tasks, results)
                if task.experiment == name]
         merged[name] = merges[name](own)
+    if telemetry is not None:
+        telemetry.wall_seconds += time.monotonic() - started
     return merged
 
 
@@ -295,7 +487,8 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
                      experiment_seconds: "Mapping[str, float]",
                      engine: "Any | None" = None,
                      analysis: "Any | None" = None,
-                     cache: "Any | None" = None) -> dict:
+                     cache: "Any | None" = None,
+                     telemetry: "CampaignTelemetry | None" = None) -> dict:
     """Append one run record to a ``BENCH_experiments.json`` history.
 
     The file holds ``{"runs": [...]}`` with one record per campaign
@@ -346,6 +539,8 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
     if cache is not None:
         record["cache"] = (dict(cache) if isinstance(cache, Mapping)
                            else cache.as_dict())
+    if telemetry is not None:
+        record["campaign"] = telemetry.as_dict()
 
     target = Path(path)
     if target.parent and not target.parent.exists():

@@ -82,10 +82,19 @@ class LatencyRecord:
 
 @dataclass
 class HypervisorStats:
-    """Aggregate counters maintained during a run."""
+    """Aggregate counters maintained during a run.
+
+    The ``*_starts``/``*_ends``/``monitor_*``/``slot_switches`` fields
+    are incremented at exactly the sites that emit the corresponding
+    :class:`~repro.sim.trace.TraceKind` events, so they reconcile 1:1
+    with ``TraceRecorder.of_kind`` counts whenever tracing is enabled —
+    and keep counting (a plain integer bump) when it is not.  The
+    telemetry collectors (:mod:`repro.telemetry.collectors`) sample
+    them into a :class:`~repro.telemetry.registry.MetricsRegistry`.
+    """
 
     irqs_delivered: int = 0
-    windows_opened: int = 0
+    windows_opened: int = 0           # == INTERPOSE_START emissions
     windows_suspended: int = 0        # interposed windows cut by a slot boundary
     slot_switches_deferred: int = 0   # boundaries deferred until a window closed
     budget_exhausted: int = 0         # enforcement fired (C_BH cap reached)
@@ -93,6 +102,15 @@ class HypervisorStats:
     monitor_consultations: int = 0
     spurious_irqs: int = 0
     irqs_throttled: int = 0           # suppressed by a source-level throttle
+    top_handler_starts: int = 0       # == TOP_HANDLER_START emissions
+    top_handler_ends: int = 0         # == TOP_HANDLER_END emissions
+    bottom_handler_starts: int = 0    # == BOTTOM_HANDLER_START emissions
+    bottom_handler_ends: int = 0      # == BOTTOM_HANDLER_END emissions
+    bottom_handler_preemptions: int = 0   # == BOTTOM_HANDLER_PREEMPTED
+    monitor_accepts: int = 0          # == MONITOR_ACCEPT emissions
+    monitor_denies: int = 0           # == MONITOR_DENY emissions
+    interpose_ends: int = 0           # == INTERPOSE_END emissions
+    slot_switches: int = 0            # == SLOT_SWITCH emissions
 
 
 class _InterposeWindow:
@@ -403,6 +421,7 @@ class Hypervisor:
         t0 = self.engine.now
         seq = self._irq_seq[source.name]
         self._irq_seq[source.name] = seq + 1
+        self.stats.top_handler_starts += 1
         self.trace.emit(t0, TraceKind.TOP_HANDLER_START, source=source.name, seq=seq)
         event = IrqEvent(source=source, seq=seq, arrival=t0,
                          bh_remaining=source.actual_bottom_cycles(seq))
@@ -419,6 +438,7 @@ class Hypervisor:
                 # Source-level throttling (Regehr & Duongsaa baseline):
                 # the request is suppressed before it becomes an event.
                 self.stats.irqs_throttled += 1
+                self.stats.top_handler_ends += 1
                 self.trace.emit(self.engine.now, TraceKind.TOP_HANDLER_END,
                                 source=source.name, seq=seq, mode="throttled")
                 self._resume()
@@ -437,12 +457,14 @@ class Hypervisor:
                               else HandlingMode.DELAYED)
                 if subscriber.irq_queue.head() is event:
                     self._complete_event(event, subscriber)
+                self.stats.top_handler_ends += 1
                 self.trace.emit(self.engine.now, TraceKind.TOP_HANDLER_END,
                                 source=source.name, seq=seq, mode="empty")
                 self._resume()
                 return
             if source.subscriber == host:
                 event.mode = HandlingMode.DIRECT
+                self.stats.top_handler_ends += 1
                 self.trace.emit(self.engine.now, TraceKind.TOP_HANDLER_END,
                                 source=source.name, seq=seq, mode="direct")
                 self._resume()
@@ -476,6 +498,8 @@ class Hypervisor:
         now = self.engine.now
         if allowed:
             event.mode = HandlingMode.INTERPOSED
+            self.stats.monitor_accepts += 1
+            self.stats.top_handler_ends += 1
             self.trace.emit(now, TraceKind.MONITOR_ACCEPT,
                             source=source.name, seq=event.seq)
             self.trace.emit(now, TraceKind.TOP_HANDLER_END,
@@ -484,10 +508,12 @@ class Hypervisor:
             return
         event.mode = HandlingMode.DELAYED
         if structurally_possible:
+            self.stats.monitor_denies += 1
             self.trace.emit(now, TraceKind.MONITOR_DENY,
                             source=source.name, seq=event.seq)
         else:
             self.stats.structural_denials += 1
+        self.stats.top_handler_ends += 1
         self.trace.emit(now, TraceKind.TOP_HANDLER_END,
                         source=source.name, seq=event.seq, mode="delayed")
         self._resume()
@@ -557,6 +583,7 @@ class Hypervisor:
         )
         window.active_event = head
         window.current_execution = execution
+        self.stats.bottom_handler_starts += 1
         self.trace.emit(self.engine.now, TraceKind.BOTTOM_HANDLER_START,
                         source=head.source.name, seq=head.seq,
                         mode="home-deferred" if window.pseudo else "interposed")
@@ -608,6 +635,7 @@ class Hypervisor:
             self._record_interference(start, start + c_ctx,
                                       trigger.source,
                                       InterferenceKind.INTERPOSED_BH)
+            self.stats.interpose_ends += 1
             self.trace.emit(self.engine.now, TraceKind.INTERPOSE_END,
                             source=trigger.source.name, seq=trigger.seq)
             self._window = None
@@ -642,16 +670,19 @@ class Hypervisor:
                                          in_window=True)
                 else:
                     event.enforced_cut = True
+                    self.stats.bottom_handler_preemptions += 1
                     self.trace.emit(now, TraceKind.BOTTOM_HANDLER_PREEMPTED,
                                     source=event.source.name, seq=event.seq,
                                     remaining=event.bh_remaining,
                                     reason="slot_boundary")
+            self.stats.interpose_ends += 1
             self.trace.emit(now, TraceKind.INTERPOSE_END,
                             source=window.trigger.source.name,
                             seq=window.trigger.seq, suspended=True)
             self._window = None
         previous = self.scheduler.current_owner
         slot = self.scheduler.advance(now)
+        self.stats.slot_switches += 1
         self.trace.emit(now, TraceKind.SLOT_SWITCH,
                         previous=previous, next=slot.partition)
         c_ctx = self.context_switches.switch(SwitchReason.SLOT)
@@ -714,6 +745,7 @@ class Hypervisor:
 
     def _start_home_bottom_handler(self, partition: Partition,
                                    event: IrqEvent) -> None:
+        self.stats.bottom_handler_starts += 1
         self.trace.emit(self.engine.now, TraceKind.BOTTOM_HANDLER_START,
                         source=event.source.name, seq=event.seq,
                         mode="home")
@@ -845,6 +877,7 @@ class Hypervisor:
         )
         mode = self._final_mode(event, foreign_window)
         event.mode = mode
+        self.stats.bottom_handler_ends += 1
         self.trace.emit(now, TraceKind.BOTTOM_HANDLER_END,
                         source=event.source.name, seq=event.seq,
                         mode=mode.value, latency=event.latency)

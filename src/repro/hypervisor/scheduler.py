@@ -32,6 +32,7 @@ class TdmaScheduler:
         self._epoch = 0
         self._started = False
         self._slots_skipped = 0
+        self._advances = 0
         # Cumulative slot-end offsets within one cycle (last == cycle length).
         self._end_offsets: list[int] = []
         position = 0
@@ -145,6 +146,7 @@ class TdmaScheduler:
         """
         if not self._started:
             raise RuntimeError("scheduler not started")
+        self._advances += 1
         self._step()
         if now is not None:
             while self.next_boundary() <= now:
@@ -156,6 +158,11 @@ class TdmaScheduler:
     def slots_skipped(self) -> int:
         """Slots skipped entirely due to late boundary delivery."""
         return self._slots_skipped
+
+    @property
+    def advance_count(self) -> int:
+        """Number of delivered slot boundaries (``advance`` calls)."""
+        return self._advances
 
     def _step(self) -> None:
         self._nominal_start += self._slots[self._index].length_cycles

@@ -103,9 +103,15 @@ class Cpu:
         self._started_at: int = 0
         self._completion: Optional[EventHandle] = None
         self._consumed_by_category: dict[str, int] = {}
+        self._preemptions: int = 0
         self.segments: Optional[list[CpuSegment]] = (
             [] if record_segments else None
         )
+
+    @property
+    def preemptions(self) -> int:
+        """Number of executions stopped before completing their budget."""
+        return self._preemptions
 
     @property
     def current(self) -> Optional[Execution]:
@@ -158,6 +164,7 @@ class Cpu:
             self._completion.cancel()
         self._current = None
         self._completion = None
+        self._preemptions += 1
         return execution
 
     def charge_overhead(self, cycles: int, category: str = "hypervisor") -> None:

@@ -44,7 +44,7 @@ class SimulationEngine:
     """
 
     __slots__ = ("_heap", "_now", "_seq", "_events_executed", "_running",
-                 "_stop_requested", "_pending")
+                 "_stop_requested", "_pending", "_cancelled_count")
 
     def __init__(self):
         # Heap of (time, seq, EventHandle); seq is unique, so the
@@ -56,6 +56,7 @@ class SimulationEngine:
         self._running = False
         self._stop_requested = False
         self._pending: int = 0
+        self._cancelled_count: int = 0
 
     @property
     def now(self) -> int:
@@ -66,6 +67,27 @@ class SimulationEngine:
     def events_executed(self) -> int:
         """Total number of event callbacks executed so far."""
         return self._events_executed
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total number of events ever scheduled (fired or not)."""
+        return self._seq
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total number of events cancelled before firing.
+
+        Maintained by :meth:`~repro.sim.events.EventHandle.cancel`; the
+        telemetry collectors sample this (and the other live counters)
+        after a run, so the dispatch loop itself carries no
+        instrumentation cost.
+        """
+        return self._cancelled_count
+
+    @property
+    def heap_depth(self) -> int:
+        """Current heap size, including lazily-cancelled dead entries."""
+        return len(self._heap)
 
     @property
     def pending_events(self) -> int:

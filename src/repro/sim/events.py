@@ -42,6 +42,7 @@ class EventHandle:
         engine = self._engine
         if engine is not None:
             engine._pending -= 1
+            engine._cancelled_count += 1
 
     @property
     def cancelled(self) -> bool:

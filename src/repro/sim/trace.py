@@ -10,6 +10,8 @@ properties.  Recording can be disabled for long benchmark runs.
 from __future__ import annotations
 
 import enum
+from collections import deque
+from itertools import islice
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -65,25 +67,39 @@ class TraceRecorder:
     capacity:
         Optional bound on retained events; when exceeded the oldest
         events are dropped (the drop count is tracked).
+
+    The store is a ``collections.deque`` with ``maxlen=capacity``, so a
+    recorder running *at* capacity evicts its oldest event in O(1) per
+    emit — the previous list-backed implementation paid an O(n)
+    ``del events[:overflow]`` shift on every single emit once full,
+    which made bounded tracing quadratic in run length.
     """
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"trace capacity must be positive, got {capacity}")
         self.enabled = enabled
         self._capacity = capacity
-        self._events: list[TraceEvent] = []
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._dropped = 0
         self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """The retention bound, or None for unbounded recording."""
+        return self._capacity
 
     def emit(self, time: int, kind: TraceKind, **data: Any) -> None:
         """Record an event (no-op when recording is disabled)."""
         if not self.enabled:
             return
         event = TraceEvent(time, kind, data)
-        self._events.append(event)
-        if self._capacity is not None and len(self._events) > self._capacity:
-            overflow = len(self._events) - self._capacity
-            del self._events[:overflow]
-            self._dropped += overflow
+        events = self._events
+        if self._capacity is not None and len(events) == self._capacity:
+            # The append below auto-evicts the oldest entry (deque
+            # maxlen semantics); only the drop counter is ours to keep.
+            self._dropped += 1
+        events.append(event)
         for listener in self._listeners:
             listener(event)
 
@@ -128,7 +144,7 @@ class TraceRecorder:
         in microseconds instead of cycles.
         """
         lines = []
-        for event in self._events[:limit]:
+        for event in islice(self._events, limit):
             if clock is not None:
                 stamp = f"{clock.cycles_to_us(event.time):12.2f} us"
             else:

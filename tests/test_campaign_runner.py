@@ -88,14 +88,19 @@ def test_run_campaign_serial_equals_parallel_results():
 # ----------------------------------------------------------------- CLI
 
 def _read_tree(directory):
+    # manifest.json intentionally records run parameters (jobs, wall
+    # times), so it is compared field-wise below, not byte-wise here.
     return {
         path.name: path.read_bytes()
         for path in sorted(directory.iterdir())
+        if path.name != "manifest.json"
     }
 
 
 def test_cli_outputs_byte_identical_across_jobs(tmp_path, capsys):
     """The acceptance property: serial and --jobs 4 runs diff clean."""
+    import json
+
     export_serial = tmp_path / "serial"
     export_parallel = tmp_path / "parallel"
 
@@ -111,6 +116,17 @@ def test_cli_outputs_byte_identical_across_jobs(tmp_path, capsys):
     # every experiment rendered something
     for name in EXPERIMENTS:
         assert f"=== {name} " in serial_stdout
+
+    # the manifests agree on everything that describes the *results*
+    serial_manifest = json.loads((export_serial / "manifest.json").read_text())
+    parallel_manifest = json.loads(
+        (export_parallel / "manifest.json").read_text())
+    for key in ("format", "version", "experiments", "scale", "seed", "files"):
+        assert serial_manifest[key] == parallel_manifest[key]
+    assert serial_manifest["jobs"] == 1
+    assert parallel_manifest["jobs"] == 4
+    assert serial_manifest["files"] == sorted(
+        path.name for path in export_serial.glob("*.csv"))
 
 
 def test_cli_quick_smoke_target(capsys):

@@ -1,0 +1,237 @@
+"""Tests for the Chrome trace-event (Perfetto) exporter and CLI wiring.
+
+Round-trips a deterministic traced run through the exporter and pins
+the format invariants: the file loads as JSON, every non-metadata
+event sits on a named track, timestamps are monotone within each
+track, CPU lanes use the same names as
+:func:`repro.metrics.timeline.lane_of`, and per-kind instant counts
+equal the recorder's ``of_kind`` counts (one instant per TraceEvent,
+nothing dropped, nothing invented).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+
+import pytest
+
+from repro.metrics.timeline import lane_of
+from repro.sim.trace import TraceKind, TraceRecorder
+from repro.telemetry import (
+    chrome_trace_events,
+    load_chrome_trace,
+    load_metrics_json,
+    run_traced_fig6,
+    write_chrome_trace,
+)
+from repro.telemetry.perfetto import (
+    KIND_FAMILIES,
+    PID_CAMPAIGN,
+    PID_CPU,
+    PID_TRACE,
+    write_chrome_trace as write_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def replay():
+    """One deterministic traced fig6b run shared by the module."""
+    return run_traced_fig6(irqs=100, seed=7)
+
+
+@pytest.fixture()
+def trace_doc(replay, tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, replay.trace, clock=replay.clock,
+                       cpu_segments=replay.cpu_segments)
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _thread_names(events, pid):
+    return {
+        event["tid"]: event["args"]["name"]
+        for event in events
+        if event["ph"] == "M" and event["pid"] == pid
+        and event["name"] == "thread_name"
+    }
+
+
+def test_trace_file_loads_and_validates(replay, tmp_path):
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(path, replay.trace, clock=replay.clock,
+                               cpu_segments=replay.cpu_segments)
+    document = load_chrome_trace(path)   # raises on any violation
+    assert len(document["traceEvents"]) == count
+    assert document["otherData"]["format"] == "repro-chrome-trace-v1"
+
+
+def test_process_and_thread_tracks_are_named(trace_doc):
+    events = trace_doc["traceEvents"]
+    process_names = {
+        event["pid"]: event["args"]["name"]
+        for event in events
+        if event["ph"] == "M" and event["name"] == "process_name"
+    }
+    assert process_names[PID_CPU] == "Simulation CPU"
+    assert process_names[PID_TRACE] == "Hypervisor trace"
+    # every non-metadata event's (pid, tid) resolves to a named thread
+    named = {
+        (event["pid"], event["tid"])
+        for event in events
+        if event["ph"] == "M" and event["name"] == "thread_name"
+    }
+    for event in events:
+        if event["ph"] != "M":
+            assert (event["pid"], event["tid"]) in named
+
+
+def test_timestamps_monotone_per_track(trace_doc):
+    last = {}
+    for event in trace_doc["traceEvents"]:
+        if event["ph"] == "M":
+            continue
+        track = (event["pid"], event["tid"])
+        assert event["ts"] >= last.get(track, float("-inf"))
+        last[track] = event["ts"]
+
+
+def test_cpu_lane_names_match_lane_of(replay, trace_doc):
+    events = trace_doc["traceEvents"]
+    lane_names = set(_thread_names(events, PID_CPU).values())
+    expected = {lane_of(segment.category)
+                for segment in replay.cpu_segments}
+    assert lane_names == expected
+    # and every segment became exactly one complete event
+    complete = [event for event in events
+                if event["ph"] == "X" and event["pid"] == PID_CPU]
+    assert len(complete) == len(replay.cpu_segments)
+
+
+def test_instant_counts_match_of_kind(replay, trace_doc):
+    instants = TallyCounter(
+        event["name"] for event in trace_doc["traceEvents"]
+        if event["ph"] == "i" and event["pid"] == PID_TRACE
+    )
+    recorder = replay.trace
+    assert sum(instants.values()) == len(recorder)
+    for kind in TraceKind:
+        assert instants.get(kind.value, 0) == len(recorder.of_kind(kind)), \
+            f"instant count diverges for {kind}"
+
+
+def test_every_kind_has_a_family():
+    assert set(KIND_FAMILIES) == set(TraceKind)
+
+
+def test_instants_carry_event_data(replay, trace_doc):
+    first_raise = next(
+        event for event in trace_doc["traceEvents"]
+        if event["ph"] == "i" and event["name"] == "irq_raised"
+    )
+    assert first_raise["args"]["line"] == 5
+    assert first_raise["s"] == "t"
+
+
+def test_campaign_spans(tmp_path):
+    from repro.experiments.runner import CampaignTelemetry, TaskTelemetry
+
+    telemetry = CampaignTelemetry(jobs=2, wall_seconds=1.0, tasks=[
+        TaskTelemetry("fig6a", "fig6-load", 0, False, 0.5, 0.01, 0.01, 11),
+        TaskTelemetry("fig6a", "fig6-load", 1, False, 0.2, 0.02, 0.02, 12),
+    ])
+    events = chrome_trace_events(campaign=telemetry)
+    spans = [event for event in events
+             if event["ph"] == "X" and event["pid"] == PID_CAMPAIGN]
+    assert len(spans) == 2
+    assert spans[0]["name"] == "fig6a/fig6-load[0]"
+    assert spans[0]["dur"] == pytest.approx(0.5e6)
+    workers = _thread_names(events, PID_CAMPAIGN)
+    assert set(workers.values()) == {"worker 11", "worker 12"}
+
+
+def test_write_is_atomic_and_creates_directories(replay, tmp_path):
+    nested = tmp_path / "deep" / "dir" / "trace.json"
+    write_trace(nested, replay.trace, clock=replay.clock)
+    assert nested.exists()
+    assert not list(nested.parent.glob("*.tmp"))
+
+
+def test_validator_rejects_time_travel(tmp_path):
+    recorder = TraceRecorder()
+    recorder.emit(100, TraceKind.CUSTOM, note="first")
+    path = tmp_path / "bad.json"
+    write_trace(path, recorder)
+    document = json.loads(path.read_text())
+    document["traceEvents"].append({
+        "ph": "i", "s": "t", "pid": PID_TRACE, "tid": 1,
+        "ts": -5.0, "name": "custom", "args": {},
+    })
+    path.write_text(json.dumps(document))
+    with pytest.raises(ValueError, match="back in time"):
+        load_chrome_trace(path)
+
+
+# ------------------------------------------------------------------ CLI
+
+def test_cli_acceptance_command(tmp_path, capsys, monkeypatch):
+    """``fig6 --quick --trace-out --metrics-json`` (at smoke scale for
+    test speed): both files valid, counters reconcile with the traced
+    replay's recorder."""
+    from repro.experiments.__main__ import main
+
+    monkeypatch.chdir(tmp_path)
+    trace_path = tmp_path / "t.json"
+    metrics_path = tmp_path / "m.json"
+    assert main(["fig6", "--smoke", "--no-cache", "--jobs", "2",
+                 "--trace-out", str(trace_path),
+                 "--metrics-json", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig6a", "fig6b", "fig6c"):
+        assert f"=== {name} " in out
+
+    document = load_chrome_trace(trace_path)
+    assert document["otherData"]["scenario"] == "fig6b"
+
+    payload = load_metrics_json(metrics_path)
+    metrics = payload["metrics"]
+
+    def value(name, **labels):
+        for series in metrics[name]["values"]:
+            if series["labels"] == labels:
+                return series["value"]
+        raise AssertionError(f"no series {labels} in {name}")
+
+    # reconcile the snapshot against an independent identical replay
+    from repro.experiments.scale import SMOKE
+
+    replay = run_traced_fig6(irqs=SMOKE.fig6_irqs_per_load, seed=1)
+    recorder = replay.trace
+    for metric_name, kind in (
+        ("hv_irqs_raised_total", TraceKind.IRQ_RAISED),
+        ("hv_top_handler_runs_total", TraceKind.TOP_HANDLER_START),
+        ("hv_bottom_handler_runs_total", TraceKind.BOTTOM_HANDLER_START),
+        ("hv_monitor_accepts_total", TraceKind.MONITOR_ACCEPT),
+        ("hv_monitor_denies_total", TraceKind.MONITOR_DENY),
+    ):
+        assert value(metric_name, run="fig6b") == len(
+            recorder.of_kind(kind))
+    # campaign telemetry rode along: 9 fig6 tasks computed
+    computed = sum(
+        series["value"]
+        for series in metrics["campaign_tasks_total"]["values"]
+        if series["labels"]["outcome"] == "computed"
+    )
+    assert computed == 9
+
+
+def test_cli_progress_flag(tmp_path, capsys, monkeypatch):
+    from repro.experiments.__main__ import main
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["fig6a", "--smoke", "--no-cache", "--jobs", "1",
+                 "--progress"]) == 0
+    err = capsys.readouterr().err
+    assert "[fig6a] task 1/3 done (fig6-load)" in err
+    assert "[fig6a] task 3/3 done (fig6-load)" in err
