@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Diff the last two campaign runs in a ``BENCH_experiments.json``.
+
+``python -m repro.experiments ... --bench-json BENCH_experiments.json``
+appends one record per campaign run; this tool compares the newest
+record against the previous one and flags per-experiment wall-time
+regressions beyond a threshold (default 20 %).
+
+Usage::
+
+    python benchmarks/compare_bench.py                       # report only
+    python benchmarks/compare_bench.py --strict              # exit 1 on regression
+    python benchmarks/compare_bench.py --threshold 0.10      # stricter knob
+    python benchmarks/compare_bench.py --file BENCH_ci.json
+
+Behaviour notes:
+
+* With fewer than two recorded runs there is nothing to diff — the
+  tool says so and exits 0, so it can sit in CI from the first run.
+* The two runs are only comparable when they used the same scale and
+  jobs count; otherwise the tool notes the mismatch and exits 0
+  instead of reporting apples-to-oranges regressions.
+* Experiments faster than ``--min-seconds`` in the baseline are
+  reported but never flagged: at smoke scales the absolute times are
+  dominated by scheduling noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Baseline wall times below this are too noisy to flag (seconds).
+DEFAULT_MIN_SECONDS = 0.05
+
+#: Relative wall-time growth treated as a regression (0.20 = +20 %).
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_runs(path: Path) -> list:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        return []
+    except ValueError as error:
+        raise SystemExit(f"error: {path} is not valid JSON: {error}")
+    runs = payload.get("runs") if isinstance(payload, dict) else None
+    return runs if isinstance(runs, list) else []
+
+
+def compare(previous: dict, latest: dict, *, threshold: float,
+            min_seconds: float) -> "tuple[list[str], list[str]]":
+    """Render comparison lines; returns (report_lines, regressions)."""
+    old_times = previous.get("experiment_wall_seconds", {})
+    new_times = latest.get("experiment_wall_seconds", {})
+    lines: "list[str]" = []
+    regressions: "list[str]" = []
+    names = [name for name in new_times if name in old_times]
+    width = max((len(name) for name in names), default=4)
+    for name in names:
+        old = float(old_times[name])
+        new = float(new_times[name])
+        if old > 0.0:
+            delta = (new - old) / old
+            delta_text = f"{100 * delta:+.1f}%"
+        else:
+            delta = 0.0
+            delta_text = "n/a"
+        flag = ""
+        if delta > threshold and old >= min_seconds:
+            flag = f"  << regression (> {100 * threshold:.0f}%)"
+            regressions.append(name)
+        lines.append(f"  {name:<{width}}  {old:8.3f}s -> {new:8.3f}s  "
+                     f"{delta_text:>8}{flag}")
+    only_new = sorted(set(new_times) - set(old_times))
+    if only_new:
+        lines.append(f"  (not in previous run: {', '.join(only_new)})")
+    old_total = float(previous.get("total_wall_seconds", 0.0))
+    new_total = float(latest.get("total_wall_seconds", 0.0))
+    if old_total > 0.0:
+        lines.append(f"  {'total':<{width}}  {old_total:8.3f}s -> "
+                     f"{new_total:8.3f}s  "
+                     f"{100 * (new_total - old_total) / old_total:+8.1f}%")
+    return lines, regressions
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare the last two runs in a bench-json history.")
+    parser.add_argument("--file", default="BENCH_experiments.json",
+                        help="bench history file (default: "
+                             "BENCH_experiments.json)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="relative wall-time growth flagged as a "
+                             "regression (default: 0.20 = +20%%)")
+    parser.add_argument("--min-seconds", type=float,
+                        default=DEFAULT_MIN_SECONDS,
+                        help="ignore experiments whose baseline is shorter "
+                             "than this (default: 0.05s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit with status 1 when any experiment "
+                             "regressed beyond the threshold")
+    args = parser.parse_args(argv)
+
+    runs = load_runs(Path(args.file))
+    if len(runs) < 2:
+        print(f"compare_bench: {args.file} has {len(runs)} run(s); "
+              "need two to diff — nothing to compare.")
+        return 0
+    previous, latest = runs[-2], runs[-1]
+    prev_config = (previous.get("scale"), previous.get("jobs"))
+    new_config = (latest.get("scale"), latest.get("jobs"))
+    print(f"compare_bench: {args.file} — run {len(runs) - 1} "
+          f"(scale={prev_config[0]}, jobs={prev_config[1]}, "
+          f"{previous.get('timestamp', '?')}) vs run {len(runs)} "
+          f"(scale={new_config[0]}, jobs={new_config[1]}, "
+          f"{latest.get('timestamp', '?')})")
+    if prev_config != new_config:
+        print("  runs used different scale/jobs — not comparable, "
+              "skipping regression check.")
+        return 0
+    lines, regressions = compare(previous, latest,
+                                 threshold=args.threshold,
+                                 min_seconds=args.min_seconds)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"WARNING: wall-time regression > "
+              f"{100 * args.threshold:.0f}% in: {', '.join(regressions)}")
+        return 1 if args.strict else 0
+    print("  no regressions beyond threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,3 +43,12 @@ class BoostPolicy(AlwaysInterpose):
     def boost_count(self) -> int:
         """Number of boost grants issued."""
         return self._boosts
+
+    def snapshot_state(self) -> dict:
+        return {"boosts": self._boosts}
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "BoostPolicy":
+        policy = cls()
+        policy._boosts = state["boosts"]
+        return policy

@@ -70,6 +70,22 @@ class MinDistanceThrottle(InterruptThrottle):
     def suppressed_count(self) -> int:
         return self._suppressed
 
+    def snapshot_state(self) -> dict:
+        return {
+            "min_distance": self.min_distance,
+            "last_admitted": self._last_admitted,
+            "admitted": self._admitted,
+            "suppressed": self._suppressed,
+        }
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "MinDistanceThrottle":
+        throttle = cls(state["min_distance"])
+        throttle._last_admitted = state["last_admitted"]
+        throttle._admitted = state["admitted"]
+        throttle._suppressed = state["suppressed"]
+        return throttle
+
 
 class TokenBucketThrottle(InterruptThrottle):
     """Token-bucket admission: bursts up to ``burst``, sustained rate
@@ -111,3 +127,22 @@ class TokenBucketThrottle(InterruptThrottle):
     @property
     def suppressed_count(self) -> int:
         return self._suppressed
+
+    def snapshot_state(self) -> dict:
+        return {
+            "burst": self.burst,
+            "refill_period": self.refill_period,
+            "tokens": self._tokens,
+            "last_time": self._last_time,
+            "admitted": self._admitted,
+            "suppressed": self._suppressed,
+        }
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "TokenBucketThrottle":
+        throttle = cls(state["burst"], state["refill_period"])
+        throttle._tokens = state["tokens"]
+        throttle._last_time = state["last_time"]
+        throttle._admitted = state["admitted"]
+        throttle._suppressed = state["suppressed"]
+        return throttle

@@ -77,6 +77,20 @@ class InterferenceLedger:
     def intervals(self) -> list[InterferenceInterval]:
         return list(self._intervals)
 
+    def snapshot_state(self) -> list:
+        """Plain-data interval list (see :mod:`repro.sim.snapshot`)."""
+        return [
+            (iv.start, iv.end, iv.victim, iv.source, iv.kind.value)
+            for iv in self._intervals
+        ]
+
+    def restore_state(self, state: list) -> None:
+        self._intervals = [
+            InterferenceInterval(start, end, victim, source,
+                                 InterferenceKind(kind))
+            for start, end, victim, source, kind in state
+        ]
+
     def for_victim(self, victim: str,
                    kinds: Optional[Iterable[InterferenceKind]] = None
                    ) -> list[InterferenceInterval]:

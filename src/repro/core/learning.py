@@ -80,6 +80,23 @@ class DeltaLearner:
         """True once every table entry has been learned from data."""
         return all(value != UNLEARNED for value in self._delta)
 
+    def snapshot_state(self) -> dict:
+        """Plain-data learner state (see :mod:`repro.sim.snapshot`)."""
+        return {
+            "depth": self._depth,
+            "delta": list(self._delta),
+            "tracebuffer": list(self._tracebuffer),
+            "observed": self._observed,
+        }
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "DeltaLearner":
+        learner = cls(state["depth"])
+        learner._delta = list(state["delta"])
+        learner._tracebuffer = list(state["tracebuffer"])
+        learner._observed = state["observed"]
+        return learner
+
     def __repr__(self) -> str:
         return f"DeltaLearner(l={self._depth}, observed={self._observed})"
 

@@ -176,6 +176,30 @@ class DeltaMinusMonitor:
         self._last_time = None
 
     # ------------------------------------------------------------------
+    # Snapshot/fork support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "table": list(self._table),
+            "history": list(self._history),
+            "accepted": self._accepted,
+            "denied": self._denied,
+            "last_time": self._last_time,
+        }
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "DeltaMinusMonitor":
+        # The stored table is already normalized and normalization is
+        # idempotent (a running maximum), so the ctor reproduces it.
+        monitor = cls(state["table"])
+        monitor._history = deque(state["history"], maxlen=len(monitor._table))
+        monitor._accepted = state["accepted"]
+        monitor._denied = state["denied"]
+        monitor._last_time = state["last_time"]
+        return monitor
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 

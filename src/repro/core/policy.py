@@ -63,6 +63,19 @@ class InterposingPolicy:
         """
         return True
 
+    # ------------------------------------------------------------------
+    # Snapshot/fork support (see repro.sim.snapshot).  The defaults
+    # serve stateless policies; stateful subclasses override both.
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Plain-data policy state for a world snapshot."""
+        return {}
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "InterposingPolicy":
+        return cls()
+
 
 class NeverInterpose(InterposingPolicy):
     """The unmodified uC/OS-MMU behaviour (Fig. 4a): always delay.
@@ -106,6 +119,13 @@ class MonitoredInterposing(InterposingPolicy):
 
     def request_interpose(self, time: int) -> bool:
         return self.monitor.check_and_accept(time)
+
+    def snapshot_state(self) -> dict:
+        return {"monitor": self.monitor.snapshot_state()}
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "MonitoredInterposing":
+        return cls(DeltaMinusMonitor.restore_from_snapshot(state["monitor"]))
 
     def __repr__(self) -> str:
         return f"MonitoredInterposing({self.monitor!r})"
@@ -188,6 +208,49 @@ class SelfLearningInterposing(InterposingPolicy):
             )
         self.monitor = build_monitor(self._learner.table(), bound)
         self._phase = LearningPhase.RUN
+
+    def set_load_fraction(self, load_fraction: Optional[float]) -> None:
+        """Re-target the run-mode bound of a still-learning policy.
+
+        This is the fig7 fork hook: the four bound cases a–d share one
+        learning prefix (the fraction is only read at the
+        learning→run transition), so a forked continuation sets its
+        case's fraction before the transition fires.  Once run mode
+        has derived the monitor the fraction is baked in, so changing
+        it then would silently do nothing — refuse instead.
+        """
+        if self._phase is not LearningPhase.LEARN:
+            raise ValueError(
+                "load fraction can only be changed during the learning phase"
+            )
+        if self._bound is not None and load_fraction is not None:
+            raise ValueError("policy already carries an explicit bound")
+        self._load_fraction = load_fraction
+
+    def snapshot_state(self) -> dict:
+        return {
+            "depth": self._learner.depth,
+            "learn_count": self._learn_count,
+            "bound": list(self._bound) if self._bound is not None else None,
+            "load_fraction": self._load_fraction,
+            "phase": self._phase.value,
+            "learner": self._learner.snapshot_state(),
+            "monitor": (self.monitor.snapshot_state()
+                        if self.monitor is not None else None),
+        }
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "SelfLearningInterposing":
+        policy = cls(depth=state["depth"], learn_count=state["learn_count"],
+                     bound=state["bound"],
+                     load_fraction=state["load_fraction"])
+        policy._learner = DeltaLearner.restore_from_snapshot(state["learner"])
+        policy._phase = LearningPhase(state["phase"])
+        if state["monitor"] is not None:
+            policy.monitor = DeltaMinusMonitor.restore_from_snapshot(
+                state["monitor"]
+            )
+        return policy
 
     def __repr__(self) -> str:
         return (

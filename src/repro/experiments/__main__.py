@@ -223,6 +223,11 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="worker processes for the campaign "
                              "(default: os.cpu_count(); 1 = serial, "
                              "in-process)")
+    parser.add_argument("--no-shared-prefix", action="store_true",
+                        help="do not fork fig7/sweep continuations from a "
+                             "shared snapshot; re-simulate every task's "
+                             "prefix straight-line (results are "
+                             "byte-identical either way)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="directory of the incremental result cache "
                              "(default: $REPRO_CACHE_DIR or .repro-cache)")
@@ -276,7 +281,8 @@ def main(argv: "list[str] | None" = None) -> int:
         started = time.perf_counter()
         merged = run_campaign((name,), scale, seed=args.seed, jobs=jobs,
                               cache=cache, telemetry=telemetry,
-                              progress=progress)
+                              progress=progress,
+                              shared_prefix=not args.no_shared_prefix)
         output = _render_one(name, merged[name], args.export)
         elapsed = time.perf_counter() - started
         experiment_seconds[name] = elapsed

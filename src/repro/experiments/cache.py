@@ -214,8 +214,31 @@ def source_fingerprint(module_name: str,
     return payload.hexdigest()
 
 
-def task_fingerprint(task: Any, root_package: str = "repro") -> str:
-    """Content-address one campaign task (see the module docstring)."""
+def result_digest(result: Any) -> str:
+    """Stable content digest of one task result.
+
+    Results that define ``digest()`` (world snapshots, prefix/warm-up
+    wrappers) use it — their digest is a hash over canonical plain
+    data, stable across processes.  Anything else is hashed through
+    its pickle, which is exactly the representation the cache stores
+    and the byte-identity tests pin.
+    """
+    digest = getattr(result, "digest", None)
+    if callable(digest):
+        return str(digest())
+    blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()
+
+
+def task_fingerprint(task: Any, root_package: str = "repro",
+                     parent_digests: "tuple[str, ...]" = ()) -> str:
+    """Content-address one campaign task (see the module docstring).
+
+    ``parent_digests`` carries the result digests of the tasks this one
+    depends on (``task.needs``), in order — a forked task's fingerprint
+    folds in the exact snapshot it forks from, so a cached continuation
+    is only replayed when its parent's world is byte-identical too.
+    """
     from repro.experiments.runner import TASK_FUNCTIONS
 
     function = TASK_FUNCTIONS[task.kind]
@@ -225,6 +248,11 @@ def task_fingerprint(task: Any, root_package: str = "repro") -> str:
         "kwargs": canonicalize(dict(task.kwargs)),
         "source": source_fingerprint(function.__module__, root_package),
     }
+    if parent_digests:
+        payload["parents"] = list(parent_digests)
+        feed = getattr(task, "feed", None)
+        if feed:
+            payload["feed"] = feed
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 

@@ -15,7 +15,7 @@ interposing overheads use the measured Section 6.2 values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.policy import HandlingMode, InterposingPolicy
 from repro.hypervisor.config import CostModel, HypervisorConfig, SlotConfig
@@ -24,7 +24,12 @@ from repro.hypervisor.irq import IrqSource
 from repro.hypervisor.partition import Partition
 from repro.metrics.stats import LatencySummary, summarize
 from repro.sim.clock import Clock
+from repro.sim.snapshot import WorldSnapshot, capture_world, restore_world
 from repro.sim.timers import IntervalSequenceTimer
+
+#: Device name under which the IRQ-generating timer registers in world
+#: snapshots; :func:`run_irq_scenario_from` looks it up on restore.
+IRQ_TIMER_DEVICE = "irq-gen"
 
 
 @dataclass
@@ -102,8 +107,11 @@ class PaperSystemConfig:
         )
         hv.add_irq_source(source)
         timer = IntervalSequenceTimer(hv.engine, hv.intc, line=self.irq_line,
-                                      intervals=intervals)
-        source.on_top_handler = lambda event: timer.arm_next()
+                                      intervals=intervals,
+                                      name=IRQ_TIMER_DEVICE)
+        # A bound method rather than a lambda: world snapshots record
+        # the hook as (device, method-name) and re-bind it on restore.
+        source.on_top_handler = timer.on_irq_top
         return hv, timer
 
 
@@ -183,21 +191,17 @@ class ScenarioResult:
         )
 
 
-def run_irq_scenario(system: PaperSystemConfig,
-                     policy: InterposingPolicy,
-                     intervals: Sequence[int],
-                     limit_seconds: float = 600.0) -> ScenarioResult:
-    """Run one IRQ-latency scenario to completion.
+def finish_irq_scenario(hv: Hypervisor, system: PaperSystemConfig,
+                        expected: int,
+                        limit_seconds: float = 600.0) -> ScenarioResult:
+    """Run a started scenario world to completion and assemble results.
 
-    The run ends when every generated IRQ's bottom handler completed
-    (or at the safety time limit, which no well-formed configuration
-    should reach).
+    Shared tail of :func:`run_irq_scenario` (straight-line) and
+    :func:`run_irq_scenario_from` (forked continuation): the two paths
+    must assemble results identically for forked runs to be
+    byte-identical with straight-line ones.
     """
-    hv, timer = system.build(policy, intervals)
     clock = hv.clock
-    hv.start()
-    timer.arm_next()
-    expected = len(intervals)   # one IRQ per arm_next(), incl. the first
     completed = hv.run_until_irq_count(
         expected, limit_cycles=round(limit_seconds * system.frequency_hz)
     )
@@ -221,3 +225,62 @@ def run_irq_scenario(system: PaperSystemConfig,
         context_switch_counts=ctx,
         hypervisor=hv,
     )
+
+
+def run_irq_scenario(system: PaperSystemConfig,
+                     policy: InterposingPolicy,
+                     intervals: Sequence[int],
+                     limit_seconds: float = 600.0) -> ScenarioResult:
+    """Run one IRQ-latency scenario to completion.
+
+    The run ends when every generated IRQ's bottom handler completed
+    (or at the safety time limit, which no well-formed configuration
+    should reach).
+    """
+    hv, timer = system.build(policy, intervals)
+    hv.start()
+    timer.arm_next()
+    # One IRQ per arm_next(), including the first.
+    return finish_irq_scenario(hv, system, len(intervals), limit_seconds)
+
+
+def build_warm_world(system: PaperSystemConfig,
+                     policy: InterposingPolicy,
+                     intervals: Sequence[int]) -> WorldSnapshot:
+    """Build, start and snapshot a scenario world at its t=0 quiescent point.
+
+    The instant after ``start()`` + ``arm_next()`` — before the first
+    arrival — is always quiescent: the only pending events are the TDMA
+    boundary and the armed IRQ timer.  Sweep and ablation drivers
+    capture this warm world once and fork per-point variants from it,
+    skipping the (identical) construction work per point.
+    """
+    hv, timer = system.build(policy, intervals)
+    hv.start()
+    timer.arm_next()
+    return capture_world(hv, {IRQ_TIMER_DEVICE: timer})
+
+
+def run_irq_scenario_from(
+    snapshot: WorldSnapshot,
+    system: PaperSystemConfig,
+    configure: Optional[Callable[[Hypervisor, IntervalSequenceTimer,
+                                  IrqSource], None]] = None,
+    limit_seconds: float = 600.0,
+) -> ScenarioResult:
+    """Fork a scenario continuation from a snapshot and run it out.
+
+    ``configure(hv, timer, source)`` runs on the freshly restored world
+    before execution resumes — the hook the drivers use to install a
+    per-point policy/throttle variant (or re-target a still-learning
+    policy's bound) on top of a shared warm-up.  The caller guarantees
+    the configuration change is invisible to the already-executed
+    prefix, so the continuation stays byte-identical to a straight-line
+    run of the same variant.
+    """
+    hv, devices = restore_world(snapshot)
+    timer = devices[IRQ_TIMER_DEVICE]
+    source = hv.irq_source(system.irq_name)
+    if configure is not None:
+        configure(hv, timer, source)
+    return finish_irq_scenario(hv, system, timer.interval_count, limit_seconds)

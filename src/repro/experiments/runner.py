@@ -9,11 +9,13 @@ per-load Fig. 6 cells) instead of sharing mutable state:
 campaign   task decomposition
 ========== =====================================================
 fig6a/b/c  one task per interrupt load (3 each)
-fig7       one task per bound case a–d (4)
+fig7       shared learning-phase prefix (1) + one forked task
+           per bound case a–d (4)
 tab62      one task per interrupt load (3)
 validation classic leg + monitored leg (2)
 ablation   boost / throttle / depth (3)
-sweep      one task per cycle-scale (4) + per d_min multiplier (5)
+sweep      one task per cycle-scale (4) + shared warm world (1)
+           + one forked task per d_min multiplier (5)
 design     single task (1)
 ========== =====================================================
 
@@ -21,6 +23,12 @@ Because the task functions derive their seeds exactly as the serial
 loops do, and the merge functions consume task results in the serial
 order, ``run_campaign(..., jobs=N)`` is **byte-identical** to
 ``jobs=1`` for every N: parallelism only changes wall-clock time.
+
+Tasks that fork a shared snapshot (fig7 cases, d_min points) declare
+the snapshot task in ``needs`` and receive its result through the
+``feed`` kwarg; the runner executes the list in topological waves
+(:func:`_task_waves`), so dependencies never reach a worker
+unresolved, and the byte-identity contract extends across waves.
 
 Workload generation inside the workers is cheap and deterministic
 (:mod:`repro.workloads` memoizes interarrival arrays and traces), so
@@ -34,6 +42,7 @@ runs inside the task.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import multiprocessing
 import os
@@ -53,13 +62,26 @@ from repro.experiments.ablation import (
     run_depth_ablation,
     run_throttle_ablation,
 )
-from repro.experiments.cache import ResultCache, task_fingerprint
+from repro.experiments.cache import (
+    ResultCache,
+    result_digest,
+    task_fingerprint,
+)
 from repro.experiments.design import run_design
 from repro.experiments.fig6 import Fig6Config, merge_fig6_loads, run_fig6_load
-from repro.experiments.fig7 import FIG7_CASES, Fig7Config, run_fig7_case
+from repro.experiments.fig7 import (
+    FIG7_CASES,
+    Fig7Config,
+    run_fig7_case,
+    run_fig7_prefix,
+)
 from repro.experiments.overhead import merge_overhead, run_overhead_load
 from repro.experiments.scale import ExperimentScale
-from repro.experiments.sweep import run_cycle_sweep_point, run_dmin_sweep_point
+from repro.experiments.sweep import (
+    run_cycle_sweep_point,
+    run_dmin_sweep_point,
+    run_dmin_warmup,
+)
 from repro.experiments.validation import (
     merge_validation,
     run_validation_classic,
@@ -73,11 +95,23 @@ DEFAULT_LOADS = (0.01, 0.05, 0.10)
 
 @dataclass(frozen=True)
 class CampaignTask:
-    """One independent, picklable unit of campaign work."""
+    """One picklable unit of campaign work.
+
+    Most tasks are independent; a *forked* task additionally names the
+    campaign-wide indices of the tasks it ``needs`` finished first (its
+    snapshot parents) and the kwarg (``feed``) through which the first
+    parent's result is injected before dispatch.  The runner executes
+    the task list in dependency waves; within a wave the ordered-merge
+    byte-identity contract is unchanged.
+    """
 
     experiment: str                     #: campaign id ("fig6a", "sweep", ...)
     kind: str                           #: dispatch key into TASK_FUNCTIONS
     kwargs: "dict[str, Any]" = field(default_factory=dict)
+    #: Indices (into the campaign task list) of prerequisite tasks.
+    needs: "tuple[int, ...]" = ()
+    #: Kwarg name receiving the first prerequisite's result, if any.
+    feed: "str | None" = None
 
     def __repr__(self) -> str:          # compact pool-debugging aid
         return f"CampaignTask({self.experiment}:{self.kind})"
@@ -88,7 +122,9 @@ class CampaignTask:
 #: multiprocessing start method.
 TASK_FUNCTIONS: "dict[str, Callable[..., Any]]" = {
     "fig6-load": run_fig6_load,
+    "fig7-prefix": run_fig7_prefix,
     "fig7-case": run_fig7_case,
+    "sweep-dmin-warmup": run_dmin_warmup,
     "overhead-load": run_overhead_load,
     "validation-classic": run_validation_classic,
     "validation-monitored": run_validation_monitored,
@@ -195,12 +231,18 @@ def _execute_task_profiled(item: "tuple[CampaignTask, float]",
 
 
 def plan_experiment(name: str, scale: ExperimentScale, seed: int,
+                    shared_prefix: bool = True,
                     ) -> "tuple[list[CampaignTask], Callable[[list], Any]]":
     """Decompose one experiment into tasks plus a merge function.
 
     The merge function runs in the parent process and consumes the task
     results *in task order* — the same order the serial loops produce —
     so merged results do not depend on worker scheduling.
+
+    With ``shared_prefix`` (the default) the fig7 and sweep campaigns
+    gain a first-wave snapshot task (the shared learning phase / warm
+    world) that the per-case and per-point tasks fork from via
+    ``needs``/``feed``; results stay byte-identical either way.
     """
     if name.startswith("fig6") and name[-1] in ("a", "b", "c"):
         scenario = name[-1]
@@ -218,6 +260,16 @@ def plan_experiment(name: str, scale: ExperimentScale, seed: int,
             activation_count=scale.fig7_activations, seed=seed,
         ))
         labels = tuple(FIG7_CASES)
+        if shared_prefix:
+            tasks = [CampaignTask(name, "fig7-prefix", {"config": config})]
+            tasks += [
+                CampaignTask(name, "fig7-case",
+                             {"label": label, "config": config},
+                             needs=(0,), feed="prefix")
+                for label in labels
+            ]
+            # results[0] is the prefix snapshot, not a case.
+            return tasks, lambda results: dict(zip(labels, results[1:]))
         tasks = [
             CampaignTask(name, "fig7-case", {"label": label, "config": config})
             for label in labels
@@ -259,18 +311,34 @@ def plan_experiment(name: str, scale: ExperimentScale, seed: int,
     if name == "sweep":
         cycle_scales = (0.5, 1.0, 2.0, 4.0)
         multipliers = (1.0, 2.0, 4.0, 8.0, 16.0)
-        tasks = [
+        cycle_tasks = [
             CampaignTask(name, "sweep-cycle-point",
                          {"scale": value, "irq_count": scale.sweep_irqs,
                           "seed": seed})
             for value in cycle_scales
-        ] + [
+        ]
+        split = len(cycle_scales)
+        if shared_prefix:
+            warmup = CampaignTask(name, "sweep-dmin-warmup",
+                                  {"irq_count": scale.sweep_irqs,
+                                   "seed": seed})
+            dmin_tasks = [
+                CampaignTask(name, "sweep-dmin-point",
+                             {"multiplier": value,
+                              "irq_count": scale.sweep_irqs, "seed": seed},
+                             needs=(split,), feed="warmup")
+                for value in multipliers
+            ]
+            tasks = cycle_tasks + [warmup] + dmin_tasks
+            # results[split] is the warm-up snapshot, not a point.
+            return tasks, lambda results: (results[:split],
+                                           results[split + 1:])
+        tasks = cycle_tasks + [
             CampaignTask(name, "sweep-dmin-point",
                          {"multiplier": value, "irq_count": scale.sweep_irqs,
                           "seed": seed})
             for value in multipliers
         ]
-        split = len(cycle_scales)
         return tasks, lambda results: (results[:split], results[split:])
     if name == "design":
         tasks = [CampaignTask(name, "design",
@@ -280,13 +348,25 @@ def plan_experiment(name: str, scale: ExperimentScale, seed: int,
 
 
 def plan_campaign(names: Sequence[str], scale: ExperimentScale, seed: int,
+                  shared_prefix: bool = True,
                   ) -> "tuple[list[CampaignTask], dict[str, Callable]]":
-    """Flatten the selected experiments into one task list."""
+    """Flatten the selected experiments into one task list.
+
+    Per-experiment ``needs`` indices are local to that experiment's
+    task list; flattening rebases them onto campaign-wide positions.
+    """
     tasks: "list[CampaignTask]" = []
     merges: "dict[str, Callable]" = {}
     for name in names:
-        experiment_tasks, merge = plan_experiment(name, scale, seed)
-        tasks.extend(experiment_tasks)
+        experiment_tasks, merge = plan_experiment(name, scale, seed,
+                                                  shared_prefix)
+        base = len(tasks)
+        for task in experiment_tasks:
+            if task.needs:
+                task = dataclasses.replace(
+                    task, needs=tuple(base + need for need in task.needs)
+                )
+            tasks.append(task)
         merges[name] = merge
     return tasks, merges
 
@@ -299,12 +379,60 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def _task_waves(tasks: "list[CampaignTask]") -> "list[list[int]]":
+    """Group task indices into topological waves.
+
+    Wave k holds every task whose prerequisites all completed in waves
+    < k; tasks without ``needs`` land in wave 0.  Within a wave the
+    original task-list order is preserved, which keeps results — and
+    the merges that consume them — independent of worker scheduling.
+    """
+    remaining = set(range(len(tasks)))
+    done: "set[int]" = set()
+    waves: "list[list[int]]" = []
+    while remaining:
+        wave = [index for index in sorted(remaining)
+                if all(need in done for need in tasks[index].needs)]
+        if not wave:
+            raise ValueError(
+                "campaign task dependencies are cyclic or point outside "
+                "the task list"
+            )
+        waves.append(wave)
+        done.update(wave)
+        remaining.difference_update(wave)
+    return waves
+
+
+def _materialize(task: CampaignTask, results: "list") -> CampaignTask:
+    """Inject a task's parent result into its kwargs before dispatch.
+
+    The returned task is what actually executes (and, for parallel
+    waves, what crosses the process boundary) — snapshots are plain
+    picklable data, so a forked continuation restores the parent world
+    inside the worker.  Cache fingerprints keep using the *original*
+    task plus the parent digests, never the injected kwargs.
+    """
+    if not task.needs or task.feed is None:
+        return task
+    kwargs = dict(task.kwargs)
+    kwargs[task.feed] = results[task.needs[0]]
+    return CampaignTask(task.experiment, task.kind, kwargs)
+
+
 def _run_tasks(tasks: "list[CampaignTask]", jobs: int) -> "list":
-    """Execute tasks in task order, in-process or over a pool."""
-    if jobs <= 1 or len(tasks) <= 1:
-        return [execute_task(task) for task in tasks]
-    with _pool_context().Pool(min(jobs, len(tasks))) as pool:
-        return pool.map(execute_task, tasks, chunksize=1)
+    """Execute tasks in dependency waves, in-process or over a pool."""
+    results: "list[Any]" = [None] * len(tasks)
+    for wave in _task_waves(tasks):
+        wave_tasks = [_materialize(tasks[index], results) for index in wave]
+        if jobs <= 1 or len(wave_tasks) <= 1:
+            wave_results = [execute_task(task) for task in wave_tasks]
+        else:
+            with _pool_context().Pool(min(jobs, len(wave_tasks))) as pool:
+                wave_results = pool.map(execute_task, wave_tasks, chunksize=1)
+        for index, result in zip(wave, wave_results):
+            results[index] = result
+    return results
 
 
 def _record_task(telemetry: "CampaignTelemetry | None",
@@ -339,22 +467,29 @@ def _run_tasks_instrumented(
     """
     call_started = time.monotonic()
     base = 0.0 if epoch is None else call_started - epoch
-    items = [(task, call_started) for task in tasks]
-    results: "list[Any]" = []
+    results: "list[Any]" = [None] * len(tasks)
     total = len(tasks)
+    done = 0
+    for wave in _task_waves(tasks):
+        items = [(_materialize(tasks[index], results), call_started)
+                 for index in wave]
 
-    def consume(profiled_iter: "Any") -> None:
-        for index, (result, offset, elapsed, pid) in enumerate(profiled_iter):
-            results.append(result)
-            _record_task(telemetry, progress, tasks[index], index,
-                         index + 1, total, cached=False, wall=elapsed,
-                         wait=offset, offset=base + offset, pid=pid)
+        def consume(profiled_iter: "Any") -> None:
+            nonlocal done
+            for position, (result, offset, elapsed, pid) in enumerate(
+                    profiled_iter):
+                index = wave[position]
+                results[index] = result
+                done += 1
+                _record_task(telemetry, progress, tasks[index], index,
+                             done, total, cached=False, wall=elapsed,
+                             wait=offset, offset=base + offset, pid=pid)
 
-    if jobs <= 1 or len(tasks) <= 1:
-        consume(map(_execute_task_profiled, items))
-    else:
-        with _pool_context().Pool(min(jobs, len(tasks))) as pool:
-            consume(pool.imap(_execute_task_profiled, items, chunksize=1))
+        if jobs <= 1 or len(items) <= 1:
+            consume(map(_execute_task_profiled, items))
+        else:
+            with _pool_context().Pool(min(jobs, len(items))) as pool:
+                consume(pool.imap(_execute_task_profiled, items, chunksize=1))
     return results
 
 
@@ -375,22 +510,31 @@ def _run_tasks_cached(
     base = 0.0 if epoch is None else call_started - epoch
     total = len(tasks)
     done = 0
-    keys = [task_fingerprint(task) for task in tasks]
     results: "list[Any]" = [None] * len(tasks)
-    miss_indices: "list[int]" = []
-    for index, key in enumerate(keys):
-        entry = cache.load(key)
-        if entry is not None:
-            results[index] = entry.result
-            done += 1
-            _record_task(telemetry, progress, tasks[index], index, done,
-                         total, cached=True, wall=0.0, wait=0.0,
-                         offset=base + time.monotonic() - call_started,
-                         pid=os.getpid())
-        else:
-            miss_indices.append(index)
-    if miss_indices:
-        miss_tasks = [tasks[index] for index in miss_indices]
+    for wave in _task_waves(tasks):
+        # Keys are computed per wave so a forked task's fingerprint can
+        # fold in the digests of its parents' (just-resolved) results.
+        keys: "dict[int, str]" = {}
+        miss_indices: "list[int]" = []
+        for index in wave:
+            task = tasks[index]
+            parents = tuple(result_digest(results[need])
+                            for need in task.needs)
+            keys[index] = task_fingerprint(task, parent_digests=parents)
+            entry = cache.load(keys[index])
+            if entry is not None:
+                results[index] = entry.result
+                done += 1
+                _record_task(telemetry, progress, tasks[index], index, done,
+                             total, cached=True, wall=0.0, wait=0.0,
+                             offset=base + time.monotonic() - call_started,
+                             pid=os.getpid())
+            else:
+                miss_indices.append(index)
+        if not miss_indices:
+            continue
+        miss_tasks = [_materialize(tasks[index], results)
+                      for index in miss_indices]
         instrumented = telemetry is not None or progress is not None
         if instrumented:
             items = [(task, call_started) for task in miss_tasks]
@@ -432,6 +576,7 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
                  telemetry: "CampaignTelemetry | None" = None,
                  progress: "Callable[[int, int, CampaignTask], None] | None"
                  = None,
+                 shared_prefix: bool = True,
                  ) -> "dict[str, Any]":
     """Run the selected experiment campaigns, optionally in parallel.
 
@@ -452,11 +597,17 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
     task completes, in the parent process) select an instrumented
     execution path that observes per-task timing without changing the
     ordered-results contract.
+
+    ``shared_prefix`` plans the fig7 and sweep campaigns with a
+    first-wave snapshot task their per-case/per-point tasks fork from
+    (see :mod:`repro.sim.snapshot`); disabling it re-runs every task's
+    prefix straight-line.  Both settings merge to byte-identical
+    results.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
     started = time.monotonic()
-    tasks, merges = plan_campaign(names, scale, seed)
+    tasks, merges = plan_campaign(names, scale, seed, shared_prefix)
     epoch: "float | None" = None
     if telemetry is not None:
         telemetry.jobs = jobs

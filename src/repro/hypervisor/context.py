@@ -59,3 +59,12 @@ class ContextSwitchModel:
     def total_cycles(self) -> int:
         """Total cycles spent context switching."""
         return self.total * self._cost_cycles
+
+    def snapshot_state(self) -> dict:
+        """Plain-data counts (see :mod:`repro.sim.snapshot`)."""
+        return {reason.value: count for reason, count in self._counts.items()}
+
+    def restore_state(self, state: dict) -> None:
+        self._counts = {
+            reason: state.get(reason.value, 0) for reason in SwitchReason
+        }

@@ -41,13 +41,13 @@ handling — matching Fig. 6c, where no IRQ is delayed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Optional, Sequence
 
 from repro.core.independence import InterferenceKind, InterferenceLedger
 from repro.core.policy import HandlingMode
 from repro.guestos.tasks import GuestJob
-from repro.hypervisor.config import HypervisorConfig, SlotConfig
+from repro.hypervisor.config import CostModel, HypervisorConfig, SlotConfig
 from repro.hypervisor.context import ContextSwitchModel, SwitchReason
 from repro.hypervisor.irq import IrqEvent, IrqSource
 from repro.hypervisor.partition import Partition
@@ -55,7 +55,9 @@ from repro.hypervisor.scheduler import TdmaScheduler
 from repro.sim.clock import Clock
 from repro.sim.cpu import Cpu, Execution
 from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventHandle
 from repro.sim.intc import InterruptController
+from repro.sim.snapshot import SnapshotError, class_path, resolve_class
 from repro.sim.trace import TraceKind, TraceRecorder
 
 
@@ -188,6 +190,9 @@ class Hypervisor:
         # Per-completion hook installed by run_until_irq_count so the
         # engine stops itself instead of being polled event by event.
         self._completion_watcher: Optional[Callable[[LatencyRecord], None]] = None
+        # Handle of the pending TDMA boundary event, kept so a world
+        # snapshot can claim and re-bind it (see repro.sim.snapshot).
+        self._boundary_handle: Optional[EventHandle] = None
 
         self.intc.set_dispatcher(self._irq_entry)
 
@@ -323,8 +328,13 @@ class Hypervisor:
         self._completion_watcher = watcher
         try:
             if limit_cycles is not None:
-                limit_handle = engine.schedule_at(limit_cycles, engine.stop,
-                                                  label="irq-count-limit")
+                # An out-of-band stop sentinel: unlike schedule_at it
+                # consumes no FIFO sequence number, so installing (and
+                # cancelling) the limit leaves the ordering of ordinary
+                # events — and therefore the simulated execution —
+                # byte-identical to a run without it.  Forked
+                # continuations rely on this (see repro.sim.snapshot).
+                limit_handle = engine.schedule_stop_at(limit_cycles)
             engine.run()
         finally:
             self._completion_watcher = None
@@ -701,10 +711,13 @@ class Hypervisor:
 
         self.engine.schedule(c_ctx, switched)
 
+    def _raise_slot_line(self) -> None:
+        self.intc.raise_line(self._slot_line)
+
     def _schedule_boundary(self, boundary: int) -> None:
         at = max(boundary, self.engine.now)
-        self.engine.schedule_at(at, lambda: self.intc.raise_line(self._slot_line),
-                                label="tdma-boundary")
+        self._boundary_handle = self.engine.schedule_at(
+            at, self._raise_slot_line, label="tdma-boundary")
 
     # ------------------------------------------------------------------
     # Partition dispatch (the partition-context dispatcher of Fig. 2)
@@ -940,6 +953,217 @@ class Hypervisor:
                 self.ledger.record(position, piece_end, victim=owner,
                                    source=source.name, kind=kind)
             position = piece_end
+
+    # ------------------------------------------------------------------
+    # Snapshot/fork support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self, ctx) -> dict:
+        """Capture the complete hypervisor system as plain data.
+
+        Only valid at a quiescent point: no hypervisor event chain in
+        flight (interrupts unmasked), no interpose window open, no
+        deferred slot switch, no guests/IPC attached.  Components that
+        cannot be reconstructed raise :class:`SnapshotError`, which
+        :func:`repro.sim.snapshot.settle` uses to step the world to the
+        next capturable instant.
+        """
+        if not self._started:
+            raise SnapshotError("hypervisor not started; nothing to fork")
+        if self._window is not None:
+            raise SnapshotError("interpose window open")
+        if self._deferred_slot_switch:
+            raise SnapshotError("slot switch deferred, boundary in flight")
+        if self._completion_watcher is not None:
+            raise SnapshotError("run_until_irq_count watcher installed")
+        if self._ipc_router is not None:
+            raise SnapshotError("IPC router attached (not snapshot-capable)")
+        if self.intc.masked:
+            raise SnapshotError("interrupts masked (hypervisor chain in flight)")
+        return {
+            "config": asdict(self.config),
+            "slots": [
+                (slot.partition, slot.length_cycles)
+                for slot in self.scheduler.slots
+            ],
+            "engine": self.engine.snapshot_state(),
+            "scheduler": self.scheduler.snapshot_state(),
+            "intc": self.intc.snapshot_state(),
+            "trace": self.trace.snapshot_state(),
+            "context_switches": self.context_switches.snapshot_state(),
+            "ledger": self.ledger.snapshot_state(),
+            "stats": asdict(self.stats),
+            "latency_records": [
+                (rec.source, rec.seq, rec.arrival, rec.completed_at,
+                 rec.mode.value, rec.enforced_cut)
+                for rec in self.latency_records
+            ],
+            "irq_seq": dict(self._irq_seq),
+            "partitions": [
+                partition.snapshot_state()
+                for partition in self._partitions.values()
+            ],
+            "sources": [
+                self._snapshot_source(source, ctx)
+                for source in self._sources.values()
+            ],
+            "boundary": ctx.claim(self._boundary_handle),
+            "cpu": self.cpu.snapshot_state(ctx, self._describe_execution_owner),
+        }
+
+    def _snapshot_source(self, source: IrqSource, ctx) -> dict:
+        if source.bottom_handler_actual is not None:
+            raise SnapshotError(
+                f"IRQ source {source.name!r} has a bottom_handler_actual "
+                "callable (not snapshot-reconstructible)"
+            )
+        if source.activates_task is not None:
+            raise SnapshotError(
+                f"IRQ source {source.name!r} activates a guest task "
+                "(not snapshot-capable)"
+            )
+        hook = None
+        if source.on_top_handler is not None:
+            hook = ctx.device_method_spec(source.on_top_handler)
+            if hook is None:
+                raise SnapshotError(
+                    f"IRQ source {source.name!r} has an on_top_handler that "
+                    "is not a bound method of a registered device"
+                )
+        throttle = None
+        if source.throttle is not None:
+            throttle = {
+                "class": class_path(type(source.throttle)),
+                "state": source.throttle.snapshot_state(),
+            }
+        return {
+            "name": source.name,
+            "line": source.line,
+            "subscriber": source.subscriber,
+            "top_handler_cycles": source.top_handler_cycles,
+            "bottom_handler_cycles": source.bottom_handler_cycles,
+            "policy": {
+                "class": class_path(type(source.policy)),
+                "state": source.policy.snapshot_state(),
+            },
+            "throttle": throttle,
+            "hook": hook,
+        }
+
+    def _describe_execution_owner(self, execution: Execution) -> Optional[dict]:
+        """Plain-data spec of the CPU execution's owner (or raise)."""
+        owner = execution.owner
+        if owner is None:
+            if execution.on_complete is not None:
+                raise SnapshotError(
+                    f"execution {execution.label!r} has a completion callback "
+                    "but no reconstructible owner"
+                )
+            return None
+        if isinstance(owner, IrqEvent):
+            partition = self._partitions[owner.source.subscriber]
+            if partition.irq_queue.head() is not owner:
+                raise SnapshotError(
+                    f"execution {execution.label!r} runs an IRQ event that "
+                    "is not its queue head (cannot re-bind on restore)"
+                )
+            return {"kind": "irq-event", "partition": partition.name}
+        raise SnapshotError(
+            f"execution {execution.label!r} owner {owner!r} is not "
+            "snapshot-reconstructible"
+        )
+
+    def _resolve_execution_owner(self, spec: Optional[dict]):
+        """Inverse of :meth:`_describe_execution_owner`."""
+        if spec is None:
+            return None, None
+        if spec["kind"] == "irq-event":
+            partition = self._partitions[spec["partition"]]
+            event = partition.irq_queue.head()
+            if event is None:
+                raise SnapshotError(
+                    f"snapshot references the IRQ-queue head of "
+                    f"{spec['partition']!r} but the restored queue is empty"
+                )
+            return event, (lambda: self._home_bh_done(partition, event))
+        raise SnapshotError(f"unknown execution owner spec {spec!r}")
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "Hypervisor":
+        """Fork an independent hypervisor system from a snapshot.
+
+        Restore order matters: the engine's counters come first (fresh
+        engine precondition), partitions before sources (subscriber
+        validation), sources before IRQ queues (events reference
+        sources), and the CPU last (its owner spec may reference a
+        restored queue head).  Device hooks (``on_top_handler``) are
+        re-bound afterwards by :func:`repro.sim.snapshot.restore_world`
+        via :meth:`rebind_hooks`.
+        """
+        config_state = dict(state["config"])
+        config_state["costs"] = CostModel(**config_state["costs"])
+        config = HypervisorConfig(**config_state)
+        slots = [
+            SlotConfig(partition, length)
+            for partition, length in state["slots"]
+        ]
+        hv = cls(slots, config)
+        hv.engine.restore_state(state["engine"])
+        hv.scheduler.restore_state(state["scheduler"])
+        hv.intc.restore_state(state["intc"])
+        hv.trace.restore_state(state["trace"])
+        hv.context_switches.restore_state(state["context_switches"])
+        hv.ledger.restore_state(state["ledger"])
+        hv.stats = HypervisorStats(**state["stats"])
+        hv.latency_records = [
+            LatencyRecord(source, seq, arrival, completed_at,
+                          HandlingMode(mode), enforced_cut)
+            for source, seq, arrival, completed_at, mode, enforced_cut
+            in state["latency_records"]
+        ]
+        for pstate in state["partitions"]:
+            hv.add_partition(Partition.restore_from_snapshot(pstate))
+        for sstate in state["sources"]:
+            policy_cls = resolve_class(sstate["policy"]["class"])
+            policy = policy_cls.restore_from_snapshot(sstate["policy"]["state"])
+            throttle = None
+            if sstate["throttle"] is not None:
+                throttle_cls = resolve_class(sstate["throttle"]["class"])
+                throttle = throttle_cls.restore_from_snapshot(
+                    sstate["throttle"]["state"]
+                )
+            hv.add_irq_source(IrqSource(
+                name=sstate["name"],
+                line=sstate["line"],
+                subscriber=sstate["subscriber"],
+                top_handler_cycles=sstate["top_handler_cycles"],
+                bottom_handler_cycles=sstate["bottom_handler_cycles"],
+                policy=policy,
+                throttle=throttle,
+            ))
+        hv._irq_seq = dict(state["irq_seq"])
+        for pstate in state["partitions"]:
+            hv._partitions[pstate["name"]].irq_queue.restore_state(
+                pstate["queue"], hv._sources
+            )
+        time, seq = state["boundary"]
+        hv._boundary_handle = hv.engine.restore_event(
+            time, seq, hv._raise_slot_line, label="tdma-boundary"
+        )
+        hv.cpu.restore_state(state["cpu"], hv._resolve_execution_owner)
+        hv._started = True
+        return hv
+
+    def rebind_hooks(self, state: dict, devices: dict[str, Any]) -> None:
+        """Re-attach device hooks recorded as ``{device, method}`` specs."""
+        for sstate in state["sources"]:
+            hook = sstate["hook"]
+            if hook is None:
+                continue
+            device = devices[hook["device"]]
+            self._sources[sstate["name"]].on_top_handler = getattr(
+                device, hook["method"]
+            )
 
     def __repr__(self) -> str:
         return (

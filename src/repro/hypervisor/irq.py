@@ -195,3 +195,35 @@ class IrqQueue:
 
     def __iter__(self):
         return iter(self._queue)
+
+    # ------------------------------------------------------------------
+    # Snapshot/fork support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Plain-data queue state; events are recorded by source *name*."""
+        return {
+            "capacity": self._capacity,
+            "pushed": self._pushed,
+            "max_depth": self._max_depth,
+            "events": [
+                (event.source.name, event.seq, event.arrival,
+                 event.bh_remaining,
+                 event.mode.value if event.mode is not None else None,
+                 event.completed_at, event.enforced_cut)
+                for event in self._queue
+            ],
+        }
+
+    def restore_state(self, state: dict,
+                      sources: dict[str, IrqSource]) -> None:
+        """Rebuild queued events against restored ``sources``."""
+        self._pushed = state["pushed"]
+        self._max_depth = state["max_depth"]
+        self._queue = deque(
+            IrqEvent(sources[name], seq, arrival, bh_remaining,
+                     HandlingMode(mode) if mode is not None else None,
+                     completed_at, enforced_cut)
+            for name, seq, arrival, bh_remaining, mode,
+            completed_at, enforced_cut in state["events"]
+        )

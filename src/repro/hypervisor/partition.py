@@ -54,6 +54,48 @@ class Partition:
     def has_pending_irqs(self) -> bool:
         return not self.irq_queue.empty
 
+    # ------------------------------------------------------------------
+    # Snapshot/fork support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Plain-data partition state at a quiescent point.
+
+        Guest kernels carry task sets and release timers whose state is
+        not part of the snapshot protocol (the experiment scenarios
+        this serves never attach one); a pending mailbox likewise means
+        IPC is in flight.  Both refuse loudly instead of forking a
+        silently-diverging world.
+        """
+        from repro.sim.snapshot import SnapshotError
+
+        if self.guest is not None:
+            raise SnapshotError(
+                f"partition {self.name!r} has a guest kernel attached"
+            )
+        if self.mailbox:
+            raise SnapshotError(
+                f"partition {self.name!r} has undelivered IPC messages"
+            )
+        return {
+            "name": self.name,
+            "busy_background": self.busy_background,
+            "bottom_handlers_completed": self.bottom_handlers_completed,
+            "slots_entered": self.slots_entered,
+            "queue": self.irq_queue.snapshot_state(),
+        }
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict) -> "Partition":
+        """Rebuild the partition shell; the hypervisor restores the IRQ
+        queue separately once the sources it references exist."""
+        partition = cls(state["name"],
+                        busy_background=state["busy_background"],
+                        irq_queue_capacity=state["queue"]["capacity"])
+        partition.bottom_handlers_completed = state["bottom_handlers_completed"]
+        partition.slots_entered = state["slots_entered"]
+        return partition
+
     def __repr__(self) -> str:
         guest = self.guest.name if self.guest else None
         return (

@@ -168,6 +168,29 @@ class TdmaScheduler:
         self._nominal_start += self._slots[self._index].length_cycles
         self._index = (self._index + 1) % len(self._slots)
 
+    # ------------------------------------------------------------------
+    # Snapshot/fork support (see repro.sim.snapshot); the static slot
+    # table is rebuilt from configuration, only runtime state is here.
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "index": self._index,
+            "nominal_start": self._nominal_start,
+            "epoch": self._epoch,
+            "started": self._started,
+            "slots_skipped": self._slots_skipped,
+            "advances": self._advances,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._index = state["index"]
+        self._nominal_start = state["nominal_start"]
+        self._epoch = state["epoch"]
+        self._started = state["started"]
+        self._slots_skipped = state["slots_skipped"]
+        self._advances = state["advances"]
+
     def __repr__(self) -> str:
         table = ", ".join(
             f"{slot.partition}:{slot.length_cycles}" for slot in self._slots

@@ -198,6 +198,68 @@ class Cpu:
         return sum(self._consumed_by_category.values())
 
     # ------------------------------------------------------------------
+    # Snapshot/fork support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self, ctx, describe_owner) -> dict:
+        """Capture plain-data CPU state; claims the completion event.
+
+        ``describe_owner(execution)`` is supplied by the layer that
+        created the execution (the hypervisor): it returns a plain-data
+        spec of the execution's owner — or raises if the execution is
+        not reconstructible — because owner semantics live above the
+        CPU model.
+        """
+        current = None
+        if self._current is not None:
+            execution = self._current
+            completion = None
+            if self._completion is not None:
+                completion = ctx.claim(self._completion)
+            current = {
+                "label": execution.label,
+                "category": execution.category,
+                "remaining": execution.remaining,
+                "executed": execution.executed,
+                "owner": describe_owner(execution),
+                "started_at": self._started_at,
+                "completion": completion,
+            }
+        return {
+            "current": current,
+            "consumed": dict(self._consumed_by_category),
+            "preemptions": self._preemptions,
+            "segments": (None if self.segments is None else
+                         [(s.start, s.end, s.category, s.label)
+                          for s in self.segments]),
+        }
+
+    def restore_state(self, state: dict, resolve_owner) -> None:
+        """Rebuild CPU state on a fresh CPU bound to a restored engine.
+
+        ``resolve_owner(spec)`` inverts ``describe_owner``: it returns
+        ``(owner, on_complete)`` for the plain-data owner spec.
+        """
+        self._consumed_by_category = dict(state["consumed"])
+        self._preemptions = state["preemptions"]
+        if state["segments"] is not None:
+            self.segments = [CpuSegment(*entry) for entry in state["segments"]]
+        current = state["current"]
+        if current is not None:
+            owner, on_complete = resolve_owner(current["owner"])
+            execution = Execution(current["label"], current["remaining"],
+                                  on_complete, current["category"], owner)
+            execution.executed = current["executed"]
+            self._current = execution
+            self._started_at = current["started_at"]
+            if current["completion"] is not None:
+                time, seq = current["completion"]
+                self._completion = self._engine.restore_event(
+                    time, seq, self._complete,
+                    label=f"complete-{execution.label}",
+                )
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 

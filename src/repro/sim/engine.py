@@ -24,10 +24,15 @@ implementation is shaped around per-event constant factors:
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.sim.events import EventHandle
+
+#: Minimum number of dead (lazily-cancelled) heap entries before a
+#: compaction is considered.  Below this floor the dead entries are
+#: cheaper to skip during pops than to filter out.
+COMPACTION_FLOOR = 64
 
 
 class SimulationError(RuntimeError):
@@ -44,7 +49,8 @@ class SimulationEngine:
     """
 
     __slots__ = ("_heap", "_now", "_seq", "_events_executed", "_running",
-                 "_stop_requested", "_pending", "_cancelled_count")
+                 "_stop_requested", "_pending", "_cancelled_count",
+                 "_compactions", "_sentinel_seq")
 
     def __init__(self):
         # Heap of (time, seq, EventHandle); seq is unique, so the
@@ -57,6 +63,11 @@ class SimulationEngine:
         self._stop_requested = False
         self._pending: int = 0
         self._cancelled_count: int = 0
+        self._compactions: int = 0
+        # Sentinel events (schedule_stop_at) use negative sequence
+        # numbers so they never consume — or perturb — the FIFO
+        # tie-break sequence of ordinary events.
+        self._sentinel_seq: int = -1
 
     @property
     def now(self) -> int:
@@ -90,6 +101,11 @@ class SimulationEngine:
         return len(self._heap)
 
     @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed (dead-entry rebuilds)."""
+        return self._compactions
+
+    @property
     def pending_events(self) -> int:
         """Number of scheduled-but-not-yet-fired events (excluding cancelled).
 
@@ -113,6 +129,9 @@ class SimulationEngine:
         handle = _handle(time, seq, callback, label, self)
         self._pending += 1
         _push(self._heap, (time, seq, handle))
+        dead = len(self._heap) - self._pending
+        if dead > COMPACTION_FLOOR and dead > self._pending:
+            self._compact()
         return handle
 
     def schedule_at(self, time: int, callback: Callable[[], Any],
@@ -128,7 +147,50 @@ class SimulationEngine:
         handle = _handle(time, seq, callback, label, self)
         self._pending += 1
         _push(self._heap, (time, seq, handle))
+        dead = len(self._heap) - self._pending
+        if dead > COMPACTION_FLOOR and dead > self._pending:
+            self._compact()
         return handle
+
+    def schedule_stop_at(self, time: int) -> EventHandle:
+        """Schedule an out-of-band :meth:`stop` at absolute time ``time``.
+
+        The sentinel uses a negative sequence number drawn from a
+        separate counter, so — unlike a regular scheduled event — it
+        neither consumes a FIFO tie-break sequence nor shifts the
+        ordering of any simultaneous ordinary events.  That keeps a
+        run that installs (and later cancels) a safety time limit
+        byte-identical to one that never needed it, which is what lets
+        a forked continuation re-install its own limit without
+        diverging from the straight-line run (see
+        :mod:`repro.sim.snapshot`).  A negative seq always fires
+        before ordinary events at the same timestamp; at most one stop
+        sentinel is meaningfully pending at a time, so sentinels never
+        need to be ordered among themselves.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (t={time}, now={self._now})"
+            )
+        seq = self._sentinel_seq
+        self._sentinel_seq = seq - 1
+        handle = EventHandle(time, seq, self.stop, "stop-sentinel", self)
+        self._pending += 1
+        heappush(self._heap, (time, seq, handle))
+        return handle
+
+    def _compact(self) -> None:
+        """Rebuild the heap without lazily-cancelled dead entries.
+
+        Mutates the heap list *in place* — :meth:`run` holds a local
+        alias to it — and preserves every live ``(time, seq, handle)``
+        entry exactly, so event ordering (and therefore simulation
+        output) is unchanged.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2]._cancelled]
+        heapify(heap)
+        self._compactions += 1
 
     def step(self) -> bool:
         """Execute the next pending event.
@@ -157,6 +219,9 @@ class SimulationEngine:
         executed = 0
         self._running = True
         self._stop_requested = False
+        dead = len(self._heap) - self._pending
+        if dead > COMPACTION_FLOOR and dead > self._pending:
+            self._compact()
         heap = self._heap
         try:
             if max_events is None:
@@ -195,6 +260,9 @@ class SimulationEngine:
         executed = 0
         self._running = True
         self._stop_requested = False
+        dead = len(self._heap) - self._pending
+        if dead > COMPACTION_FLOOR and dead > self._pending:
+            self._compact()
         heap = self._heap
         try:
             while not self._stop_requested:
@@ -235,6 +303,79 @@ class SimulationEngine:
         """Timestamp of the next pending event, or None if queue is empty."""
         handle = self._next_pending()
         return None if handle is None else handle.time
+
+    # ------------------------------------------------------------------
+    # Snapshot/fork support (see repro.sim.snapshot).
+    #
+    # The engine cannot serialize its heap directly — scheduled
+    # callbacks are closures over the old world — so a snapshot
+    # records the live (time, seq, label) entries, each component
+    # *claims* the entries it owns, and on restore each component
+    # re-binds a fresh callback with the original (time, seq).
+    # Preserving the original sequence numbers (and the _seq counter)
+    # keeps FIFO tie-breaks, and therefore the entire execution,
+    # byte-identical to the straight-line run.
+    # ------------------------------------------------------------------
+
+    def live_entries(self) -> list[tuple[int, int, EventHandle]]:
+        """All pending (non-cancelled) ``(time, seq, handle)`` heap entries."""
+        return [entry for entry in self._heap if not entry[2]._cancelled]
+
+    def snapshot_state(self) -> dict:
+        """Plain-data counter state for a world snapshot.
+
+        ``_sentinel_seq`` is deliberately *not* captured: sentinel
+        sequence numbers are unobservable (a negative seq always fires
+        before any ordinary event at the same time, and at most one
+        stop sentinel is meaningfully pending), and a forked
+        continuation must allocate sentinels exactly like the fresh
+        engine of a straight-line run would.
+        """
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "events_executed": self._events_executed,
+            "events_cancelled": self._cancelled_count,
+            "compactions": self._compactions,
+            "pending": self._pending,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore counters onto a *fresh* engine.
+
+        ``pending`` is not restored directly — it is rebuilt one
+        :meth:`restore_event` at a time; the orchestrator asserts the
+        final count against ``state["pending"]``.
+        """
+        if self._heap or self._seq or self._events_executed:
+            raise SimulationError("can only restore state onto a fresh engine")
+        self._now = state["now"]
+        self._seq = state["seq"]
+        self._events_executed = state["events_executed"]
+        self._cancelled_count = state["events_cancelled"]
+        self._compactions = state["compactions"]
+
+    def restore_event(self, time: int, seq: int, callback: Callable[[], Any],
+                      label: Optional[str] = None) -> EventHandle:
+        """Re-schedule a snapshotted event with its *original* (time, seq).
+
+        Unlike :meth:`schedule_at` this does not allocate a new
+        sequence number: the restored entry must sort exactly where
+        the original did among simultaneous events.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot restore an event in the past (t={time}, now={self._now})"
+            )
+        if seq >= self._seq:
+            raise SimulationError(
+                f"restored event seq {seq} not predated by the seq counter "
+                f"({self._seq}); restore_state first"
+            )
+        handle = EventHandle(time, seq, callback, label, self)
+        self._pending += 1
+        heappush(self._heap, (time, seq, handle))
+        return handle
 
     def __repr__(self) -> str:
         return f"SimulationEngine(now={self._now}, pending={self.pending_events})"

@@ -46,6 +46,11 @@ class InterruptController:
         self._raise_counts = [0] * num_lines
         self._coalesced_counts = [0] * num_lines
         self._delivered_counts = [0] * num_lines
+        # Exact count of lines that are pending AND enabled.  The
+        # delivery path runs on every unmask — almost always with
+        # nothing pending — so the counter turns the common case into
+        # an integer compare instead of a scan over all lines.
+        self._live = 0
 
     @property
     def num_lines(self) -> int:
@@ -74,6 +79,8 @@ class InterruptController:
                 self._trace.emit(self._engine.now, TraceKind.IRQ_COALESCED, line=line)
             return
         self._pending[line] = True
+        if self._enabled[line]:
+            self._live += 1
         if self._trace is not None:
             self._trace.emit(self._engine.now, TraceKind.IRQ_RAISED, line=line)
         self._maybe_deliver()
@@ -89,7 +96,8 @@ class InterruptController:
     def unmask_all(self) -> None:
         """Re-enable interrupt delivery and deliver any pending lines."""
         self._globally_masked = False
-        self._maybe_deliver()
+        if self._live:
+            self._maybe_deliver()
 
     @property
     def masked(self) -> bool:
@@ -98,18 +106,27 @@ class InterruptController:
     def enable_line(self, line: int) -> None:
         """Enable a specific line (delivers if it was pending)."""
         self._check_line(line)
-        self._enabled[line] = True
+        if not self._enabled[line]:
+            self._enabled[line] = True
+            if self._pending[line]:
+                self._live += 1
         self._maybe_deliver()
 
     def disable_line(self, line: int) -> None:
         """Disable a specific line; raises on it stay latched."""
         self._check_line(line)
-        self._enabled[line] = False
+        if self._enabled[line]:
+            self._enabled[line] = False
+            if self._pending[line]:
+                self._live -= 1
 
     def acknowledge(self, line: int) -> None:
         """Clear the pending flag for a line (done by the top handler)."""
         self._check_line(line)
-        self._pending[line] = False
+        if self._pending[line]:
+            self._pending[line] = False
+            if self._enabled[line]:
+                self._live -= 1
 
     def is_pending(self, line: int) -> bool:
         self._check_line(line)
@@ -135,6 +152,40 @@ class InterruptController:
         return self._delivered_counts[line]
 
     # ------------------------------------------------------------------
+    # Snapshot/fork support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Plain-data controller state at a quiescent point."""
+        if self._dispatching:
+            raise RuntimeError("cannot snapshot mid-dispatch")
+        return {
+            "num_lines": self._num_lines,
+            "pending": list(self._pending),
+            "enabled": list(self._enabled),
+            "globally_masked": self._globally_masked,
+            "raise_counts": list(self._raise_counts),
+            "coalesced_counts": list(self._coalesced_counts),
+            "delivered_counts": list(self._delivered_counts),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state["num_lines"] != self._num_lines:
+            raise ValueError(
+                f"snapshot has {state['num_lines']} lines, controller has "
+                f"{self._num_lines}"
+            )
+        self._pending = list(state["pending"])
+        self._enabled = list(state["enabled"])
+        self._globally_masked = state["globally_masked"]
+        self._raise_counts = list(state["raise_counts"])
+        self._coalesced_counts = list(state["coalesced_counts"])
+        self._delivered_counts = list(state["delivered_counts"])
+        self._live = sum(1 for pending, enabled
+                         in zip(self._pending, self._enabled)
+                         if pending and enabled)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -154,11 +205,11 @@ class InterruptController:
         Re-entrant raises from within a dispatcher call are deferred to
         the surrounding delivery loop, keeping the call stack flat.
         """
-        if self._dispatcher is None or self._dispatching:
+        if self._dispatcher is None or self._dispatching or not self._live:
             return
         self._dispatching = True
         try:
-            while not self._globally_masked:
+            while not self._globally_masked and self._live:
                 line = self._next_deliverable()
                 if line is None:
                     break

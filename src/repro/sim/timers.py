@@ -67,6 +67,42 @@ class OneShotTimer:
         self._expirations += 1
         self._intc.raise_line(self._line)
 
+    def on_irq_top(self, event) -> None:
+        """Top-handler hook: no-op for a plain one-shot timer.
+
+        Exists as a *bound method* (rather than an ad-hoc lambda at
+        the wiring site) so world snapshots can record the hook as
+        ``(device, method-name)`` and re-bind it on restore — closures
+        over the old world cannot be serialized.
+        """
+
+    def snapshot_state(self, ctx) -> dict:
+        """Capture plain-data timer state; claims the armed heap entry."""
+        armed = None
+        if self._handle is not None and self._handle.pending:
+            armed = ctx.claim(self._handle)
+        return {
+            "line": self._line,
+            "name": self.name,
+            "expirations": self._expirations,
+            "armed": armed,
+        }
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict, engine: SimulationEngine,
+                              intc: InterruptController) -> "OneShotTimer":
+        timer = cls(engine, intc, state["line"], name=state["name"])
+        timer._apply_snapshot(state)
+        return timer
+
+    def _apply_snapshot(self, state: dict) -> None:
+        self._expirations = state["expirations"]
+        if state["armed"] is not None:
+            time, seq = state["armed"]
+            self._handle = self._engine.restore_event(
+                time, seq, self._expire, label=f"{self.name}-expiry"
+            )
+
 
 class IntervalSequenceTimer(OneShotTimer):
     """A one-shot timer fed from a pre-generated interarrival sequence.
@@ -96,6 +132,11 @@ class IntervalSequenceTimer(OneShotTimer):
     def exhausted(self) -> bool:
         return self._index >= len(self._intervals)
 
+    @property
+    def interval_count(self) -> int:
+        """Total length of the interarrival sequence (consumed or not)."""
+        return len(self._intervals)
+
     def arm_next(self) -> bool:
         """Program the timer with the next interarrival value.
 
@@ -107,6 +148,30 @@ class IntervalSequenceTimer(OneShotTimer):
         self.program(self._intervals[self._index])
         self._index += 1
         return True
+
+    def on_irq_top(self, event) -> None:
+        """Top-handler hook: re-arm with the next interarrival value.
+
+        This is the Section 6.1 measurement protocol (the timer is
+        re-programmed from within each top handler); a bound method so
+        world snapshots can re-bind it on restore.
+        """
+        self.arm_next()
+
+    def snapshot_state(self, ctx) -> dict:
+        state = super().snapshot_state(ctx)
+        state["intervals"] = list(self._intervals)
+        state["index"] = self._index
+        return state
+
+    @classmethod
+    def restore_from_snapshot(cls, state: dict, engine: SimulationEngine,
+                              intc: InterruptController) -> "IntervalSequenceTimer":
+        timer = cls(engine, intc, state["line"], state["intervals"],
+                    name=state["name"])
+        timer._index = state["index"]
+        timer._apply_snapshot(state)
+        return timer
 
 
 class TimestampTimer:

@@ -137,6 +137,37 @@ class TraceRecorder:
         self._events.clear()
         self._dropped = 0
 
+    def snapshot_state(self) -> dict:
+        """Plain-data recorder state (see :mod:`repro.sim.snapshot`).
+
+        Listeners are live callbacks into the old world and cannot be
+        captured; a recorder with listeners attached refuses to
+        snapshot rather than silently dropping them.
+        """
+        if self._listeners:
+            raise RuntimeError("cannot snapshot a recorder with listeners")
+        return {
+            "enabled": self.enabled,
+            "capacity": self._capacity,
+            "dropped": self._dropped,
+            "events": [(ev.time, ev.kind.value, dict(ev.data))
+                       for ev in self._events],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state["capacity"] != self._capacity:
+            raise ValueError(
+                f"snapshot capacity {state['capacity']} != recorder "
+                f"capacity {self._capacity}"
+            )
+        self.enabled = state["enabled"]
+        self._dropped = state["dropped"]
+        self._events = deque(
+            (TraceEvent(time, TraceKind(kind), data)
+             for time, kind, data in state["events"]),
+            maxlen=self._capacity,
+        )
+
     def render_timeline(self, clock=None, limit: int = 50) -> str:
         """Human-readable timeline of the first ``limit`` events.
 

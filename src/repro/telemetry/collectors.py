@@ -60,6 +60,11 @@ def collect_engine(registry: MetricsRegistry, engine: Any,
         "Scheduled-but-unfired events (exact live counter)",
         ("run",),
     ).labels(**labels).set(engine.pending_events)
+    registry.counter(
+        "sim_heap_compactions_total",
+        "Heap rebuilds discarding lazily-cancelled entries",
+        ("run",),
+    ).labels(**labels).inc(engine.compactions)
     registry.gauge(
         "sim_heap_depth",
         "Heap entries, including lazily-cancelled dead ones",

@@ -28,23 +28,37 @@ from repro.experiments.scale import PAPER, QUICK, SMOKE, resolve_scale
 
 EXPECTED_TASK_COUNTS = {
     "fig6a": 3, "fig6b": 3, "fig6c": 3,     # one per interrupt load
-    "fig7": 4,                              # bound cases a-d
+    "fig7": 5,                              # learning prefix + cases a-d
     "tab62": 3,                             # one per interrupt load
     "validation": 2,                        # classic + monitored legs
     "ablation": 3,                          # boost / throttle / depth
-    "sweep": 9,                             # 4 cycle + 5 d_min points
+    "sweep": 10,                            # 4 cycle + warmup + 5 d_min
     "design": 1,
 }
+
+EXPECTED_STRAIGHT_COUNTS = dict(EXPECTED_TASK_COUNTS, fig7=4, sweep=9)
+
+
+def _count_by_experiment(tasks):
+    by_experiment = {}
+    for task in tasks:
+        by_experiment[task.experiment] = by_experiment.get(task.experiment, 0) + 1
+    return by_experiment
 
 
 def test_plan_covers_every_experiment():
     tasks, merges = plan_campaign(EXPERIMENTS, SMOKE, seed=1)
     assert set(merges) == set(EXPERIMENTS)
-    by_experiment = {}
-    for task in tasks:
-        by_experiment[task.experiment] = by_experiment.get(task.experiment, 0) + 1
-    assert by_experiment == EXPECTED_TASK_COUNTS
+    assert _count_by_experiment(tasks) == EXPECTED_TASK_COUNTS
     assert len(tasks) == sum(EXPECTED_TASK_COUNTS.values())
+
+
+def test_plan_without_shared_prefix_has_no_dependency_tasks():
+    tasks, merges = plan_campaign(EXPERIMENTS, SMOKE, seed=1,
+                                  shared_prefix=False)
+    assert set(merges) == set(EXPERIMENTS)
+    assert _count_by_experiment(tasks) == EXPECTED_STRAIGHT_COUNTS
+    assert all(not task.needs for task in tasks)
 
 
 def test_plan_unknown_experiment_rejected():
