@@ -4,7 +4,9 @@
 ``python -m repro.experiments ... --bench-json BENCH_experiments.json``
 appends one record per campaign run; this tool compares the newest
 record against the previous one and flags per-experiment wall-time
-regressions beyond a threshold (default 20 %).
+regressions beyond a threshold (default 20 %), plus drops in the
+engine microbenchmark's ``engine.events_per_second`` beyond the same
+threshold (when both runs recorded it on the same queue backend).
 
 Usage::
 
@@ -86,6 +88,38 @@ def compare(previous: dict, latest: dict, *, threshold: float,
     return lines, regressions
 
 
+def compare_engine(previous: dict, latest: dict, *,
+                   threshold: float) -> "tuple[list[str], bool]":
+    """Diff engine throughput; returns (report_lines, regressed).
+
+    A *drop* in events/s beyond ``threshold`` is the regression (the
+    wall-time check flags growth; throughput moves the other way).
+    Skipped with a note when either run lacks the microbenchmark or
+    the two runs measured different queue backends.
+    """
+    old_engine = previous.get("engine") or {}
+    new_engine = latest.get("engine") or {}
+    old_eps = old_engine.get("events_per_second")
+    new_eps = new_engine.get("events_per_second")
+    if not old_eps or not new_eps:
+        return ["  engine throughput: not recorded in both runs, "
+                "skipping."], False
+    old_backend = old_engine.get("backend")
+    new_backend = new_engine.get("backend")
+    if old_backend != new_backend:
+        return [f"  engine throughput: backends differ "
+                f"({old_backend} vs {new_backend}) — not comparable, "
+                "skipping."], False
+    delta = (float(new_eps) - float(old_eps)) / float(old_eps)
+    backend = f" [{new_backend}]" if new_backend else ""
+    line = (f"  engine{backend}  {float(old_eps):,.0f} -> "
+            f"{float(new_eps):,.0f} events/s  {100 * delta:+.1f}%")
+    regressed = delta < -threshold
+    if regressed:
+        line += f"  << throughput regression (> {100 * threshold:.0f}% drop)"
+    return [line], regressed
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         description="Compare the last two runs in a bench-json history.")
@@ -124,11 +158,20 @@ def main(argv: "list[str] | None" = None) -> int:
     lines, regressions = compare(previous, latest,
                                  threshold=args.threshold,
                                  min_seconds=args.min_seconds)
-    for line in lines:
+    engine_lines, engine_regressed = compare_engine(
+        previous, latest, threshold=args.threshold)
+    for line in lines + engine_lines:
         print(line)
+    failed = False
     if regressions:
         print(f"WARNING: wall-time regression > "
               f"{100 * args.threshold:.0f}% in: {', '.join(regressions)}")
+        failed = True
+    if engine_regressed:
+        print(f"WARNING: engine throughput dropped > "
+              f"{100 * args.threshold:.0f}%")
+        failed = True
+    if failed:
         return 1 if args.strict else 0
     print("  no regressions beyond threshold.")
     return 0

@@ -14,11 +14,18 @@ Any regression to the O(n) ``pending_events`` scan, per-event
 ``__dict__`` allocation, or Python-level heap comparisons shows up
 here as a large events/sec drop.  The same measurement feeds the
 ``engine`` record of ``BENCH_experiments.json`` (CLI ``--bench-json``).
+
+The A/B leg races every pluggable queue backend
+(:mod:`repro.sim.queue`) against the frozen pre-backend heap loop,
+interleaved in one process so host noise cancels out; the winner and
+its improvement land in ``extra_info`` and in the ``engine_ab`` record
+of ``BENCH_experiments.json``.
 """
 
 import pytest
 
-from repro.sim.benchmark import measure_engine_throughput
+from repro.sim.benchmark import measure_backend_ab, measure_engine_throughput
+from repro.sim.queue import QUEUE_BACKENDS
 
 
 def test_engine_throughput(benchmark):
@@ -45,6 +52,36 @@ def test_engine_throughput(benchmark):
     assert result.events_per_second > 150_000
     assert result.chain_events_per_second > 150_000
     assert result.pool_events_per_second > 150_000
+
+
+def test_backend_ab_vs_legacy(benchmark):
+    """Interleaved backend race: every backend beats the legacy loop.
+
+    The floors are deliberately loose (the acceptance-grade ≥15% check
+    runs at a larger event count outside CI): here we pin that the
+    race measures every contender, that a backend — not the baseline —
+    wins, and that no backend *lost* to the loop it replaced.
+    """
+    result = benchmark.pedantic(
+        measure_backend_ab,
+        kwargs={"events": 100_000, "repeats": 3},
+        rounds=1, iterations=1,
+    )
+    assert set(result.results) == {"legacy", *QUEUE_BACKENDS}
+    assert result.baseline == "legacy"
+    assert result.winner in QUEUE_BACKENDS
+    benchmark.extra_info["winner"] = result.winner
+    benchmark.extra_info["improvement_vs_legacy"] = round(
+        result.improvement(), 4)
+    for name, contender in result.results.items():
+        benchmark.extra_info[f"{name}_events_per_second"] = round(
+            contender.events_per_second)
+        assert contender.events_executed >= 100_000
+    # Best-of-3 interleaved: a backend slower than legacy here is a
+    # genuine hot-path regression, not noise.
+    assert result.improvement() > 0.0
+    for name in QUEUE_BACKENDS:
+        assert result.improvement(name) > -0.10
 
 
 @pytest.mark.slow

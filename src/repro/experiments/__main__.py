@@ -59,6 +59,11 @@ from repro.experiments.runner import (
     write_bench_json,
 )
 from repro.experiments.scale import resolve_scale
+from repro.sim.queue import (
+    DEFAULT_QUEUE_BACKEND,
+    ENV_QUEUE_BACKEND,
+    QUEUE_BACKENDS,
+)
 from repro.experiments.sweep import render_cycle_sweep, render_dmin_sweep
 from repro.experiments.validation import render_validation
 
@@ -255,7 +260,20 @@ def main(argv: "list[str] | None" = None) -> int:
                              "scale and seed")
     parser.add_argument("--progress", action="store_true",
                         help="print per-task completion progress to stderr")
+    parser.add_argument("--queue-backend", metavar="NAME", default=None,
+                        choices=sorted(QUEUE_BACKENDS),
+                        help="event-queue backend for every simulation in "
+                             "this run (choices: "
+                             f"{', '.join(sorted(QUEUE_BACKENDS))}; default: "
+                             "$REPRO_QUEUE_BACKEND or "
+                             f"{DEFAULT_QUEUE_BACKEND!r}); results are "
+                             "byte-identical across backends, only speed "
+                             "differs")
     args = parser.parse_args(argv)
+
+    if args.queue_backend is not None:
+        # Via the environment so campaign worker processes inherit it.
+        os.environ[ENV_QUEUE_BACKEND] = args.queue_backend
 
     names = ALIASES.get(args.experiment, (args.experiment,))
     scale = resolve_scale(quick=args.quick, smoke=args.smoke)
@@ -307,20 +325,29 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.bench_json is not None:
         from repro.analysis.benchmark import measure_analysis_speedup
-        from repro.sim.benchmark import measure_engine_throughput
+        from repro.sim.benchmark import (
+            measure_backend_ab,
+            measure_engine_throughput,
+        )
 
         engine = measure_engine_throughput()
+        engine_ab = measure_backend_ab()
         analysis = measure_analysis_speedup()
         record = write_bench_json(
             args.bench_json,
             scale_name=scale.name, jobs=jobs,
             experiment_seconds=experiment_seconds, engine=engine,
+            engine_ab=engine_ab,
             analysis=analysis,
             cache=cache.stats if cache is not None else None,
             telemetry=telemetry,
         )
+        ab = record["engine_ab"]
         print(f"[bench] engine {record['engine']['events_per_second']:,.0f} "
-              f"events/s; analysis memoization "
+              f"events/s (backend={record['engine']['backend']}); "
+              f"A/B winner {ab['winner']} "
+              f"{ab['improvement_vs_legacy']:+.1%} vs legacy; "
+              f"analysis memoization "
               f"{record['analysis']['speedup']:.1f}x; "
               f"history appended to {args.bench_json}",
               file=sys.stderr)

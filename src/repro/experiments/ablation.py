@@ -198,10 +198,9 @@ def run_throttle_ablation(system: "PaperSystemConfig | None" = None,
         len(intervals), limit_cycles=round(600.0 * system.frequency_hz)
     )
     from repro.metrics.stats import summarize
-    latencies = [clock.cycles_to_us(r.latency)
-                 for r in hv_throttled.latency_records]
+    latencies = hv_throttled.latency_columns.latencies_us_array(clock)
     throttled = ScenarioSummary(
-        records=list(hv_throttled.latency_records),
+        records=hv_throttled.latency_records,
         latencies_us=latencies,
         summary=summarize(latencies),
         mode_counts={m.value: c for m, c in hv_throttled.mode_counts().items()},

@@ -14,6 +14,7 @@ interposing overheads use the measured Section 6.2 values.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -130,10 +131,15 @@ class ScenarioSummary:
     results must stay plain picklable data — no callbacks, no open
     handles — and task kwargs must stay canonicalizable dataclasses /
     primitives so their content fingerprint is stable.
+
+    ``latencies_us`` is a columnar ``array('d')`` (cheap to pickle,
+    summarize and merge); it compares elementwise against other arrays,
+    so summary-vs-summary equality still works, but code comparing it
+    against a plain list must wrap one side.
     """
 
     records: list[LatencyRecord]
-    latencies_us: list[float]
+    latencies_us: "array | list[float]"
     summary: LatencySummary
     mode_counts: dict[str, int]
     context_switch_counts: dict[str, int]
@@ -156,10 +162,14 @@ class ScenarioSummary:
 
 @dataclass
 class ScenarioResult:
-    """Everything a benchmark or test needs from one scenario run."""
+    """Everything a benchmark or test needs from one scenario run.
+
+    ``latencies_us`` is the columnar ``array('d')`` form (completion
+    order, same floats as ``hv.latencies_us()``).
+    """
 
     records: list[LatencyRecord]
-    latencies_us: list[float]
+    latencies_us: "array | list[float]"
     summary: LatencySummary
     mode_counts: dict[str, int]
     context_switch_counts: dict[str, int]
@@ -208,8 +218,10 @@ def finish_irq_scenario(hv: Hypervisor, system: PaperSystemConfig,
     if completed < expected:
         # Drain any stragglers still waiting for their home slot.
         hv.run_until(hv.engine.now + 2 * clock.us_to_cycles(system.tdma_cycle_us))
-    records = list(hv.latency_records)
-    latencies = [clock.cycles_to_us(rec.latency) for rec in records]
+    records = hv.latency_records
+    # Columnar: one array('d') straight off the latency columns, with
+    # the same per-element cycles_to_us conversion as the record path.
+    latencies = hv.latency_columns.latencies_us_array(clock)
     mode_counts = {
         mode.value: count for mode, count in hv.mode_counts().items()
     }

@@ -19,6 +19,7 @@ all loads, 15000 IRQs total in the paper (5000 per load).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -67,7 +68,7 @@ class Fig6Result:
 
     scenario: str
     per_load: dict[float, ScenarioSummary]
-    latencies_us: list[float]
+    latencies_us: "array | list[float]"
     avg_latency_us: float
     max_latency_us: float
     mode_counts: dict[str, int]
@@ -117,7 +118,7 @@ def merge_fig6_loads(scenario: str, config: Fig6Config,
             f"expected {len(config.loads)} per-load results, got {len(summaries)}"
         )
     per_load: dict[float, ScenarioSummary] = {}
-    latencies: list[float] = []
+    latencies = array("d")         # columnar merge of the per-load arrays
     mode_counts: dict[str, int] = {}
     for load, result in zip(config.loads, summaries):
         per_load[load] = result

@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from array import array
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -84,8 +85,9 @@ class Fig7CaseResult:
     learn_count: int
     learn_avg_us: float
     run_avg_us: float
-    #: Sliding-window average latency per IRQ event (the Fig. 7 y-axis).
-    series_us: list[float]
+    #: Sliding-window average latency per IRQ event (the Fig. 7 y-axis),
+    #: columnar (``array('d')``).
+    series_us: "array | list[float]"
     learned_table: list[int]
     monitor_table: list[int]
 
@@ -219,7 +221,8 @@ def _assemble_case(label: str, config: Fig7Config, result: ScenarioResult,
         learn_count=learn_count,
         learn_avg_us=summarize(learn_latencies).mean,
         run_avg_us=summarize(run_latencies).mean,
-        series_us=running_average(latencies, window=config.average_window),
+        series_us=array("d", running_average(latencies,
+                                             window=config.average_window)),
         learned_table=policy.learned_table,
         monitor_table=policy.monitor.table if policy.monitor else [],
     )

@@ -43,6 +43,7 @@ runs inside the task.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import multiprocessing
 import os
@@ -637,6 +638,7 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
                      scale_name: str, jobs: int,
                      experiment_seconds: "Mapping[str, float]",
                      engine: "Any | None" = None,
+                     engine_ab: "Any | None" = None,
                      analysis: "Any | None" = None,
                      cache: "Any | None" = None,
                      telemetry: "CampaignTelemetry | None" = None) -> dict:
@@ -644,8 +646,12 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
 
     The file holds ``{"runs": [...]}`` with one record per campaign
     run: per-experiment wall-clock seconds plus (when measured) the
-    engine microbenchmark's events/sec, the analysis memoization A/B
-    (``analysis``: an
+    engine microbenchmark's events/sec (``engine``, annotated with the
+    queue backend it ran on), the interleaved queue-backend race
+    (``engine_ab``: a
+    :class:`~repro.sim.benchmark.BackendABResult` — winner,
+    improvement over the frozen legacy loop, per-contender events/s),
+    the analysis memoization A/B (``analysis``: an
     :class:`~repro.analysis.benchmark.AnalysisBenchmarkResult`) and
     the campaign's cache statistics (``cache``: a
     :class:`~repro.experiments.cache.CacheStats` or a plain mapping) —
@@ -654,10 +660,13 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
     trail the perf harness can diff.
 
     The read-modify-write append is safe against concurrent campaigns:
-    the whole cycle runs under an advisory lock on a ``.lock`` sibling
-    (where the platform supports it) and the updated history lands via
-    temp file + ``os.replace``, so a reader never sees a torn file and
-    two writers cannot drop each other's records.
+    the whole cycle runs under an advisory lock (where the platform
+    supports it) and the updated history lands via temp file +
+    ``os.replace``, so a reader never sees a torn file and two writers
+    cannot drop each other's records.  The lock side-file lives under
+    the system temp directory, keyed by a hash of the resolved target
+    path — not next to the history file — so benchmark runs never
+    litter the checkout with ``.lock`` artifacts.
     """
     record: "dict[str, Any]" = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
@@ -670,7 +679,10 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
         "total_wall_seconds": round(sum(experiment_seconds.values()), 3),
     }
     if engine is not None:
+        from repro.sim.queue import resolve_backend_name
+
         record["engine"] = {
+            "backend": resolve_backend_name(None),
             "events_per_second": round(engine.events_per_second, 1),
             "chain_events_per_second": round(
                 engine.chain_events_per_second, 1),
@@ -678,6 +690,16 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
             "events_executed": engine.events_executed,
             "cancelled_events": engine.cancelled_events,
             "elapsed_seconds": round(engine.elapsed_seconds, 4),
+        }
+    if engine_ab is not None:
+        record["engine_ab"] = {
+            "baseline": engine_ab.baseline,
+            "winner": engine_ab.winner,
+            "improvement_vs_legacy": round(engine_ab.improvement(), 4),
+            "events_per_second": {
+                name: round(result.events_per_second, 1)
+                for name, result in sorted(engine_ab.results.items())
+            },
         }
     if analysis is not None:
         record["analysis"] = {
@@ -696,7 +718,12 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
     target = Path(path)
     if target.parent and not target.parent.exists():
         target.parent.mkdir(parents=True, exist_ok=True)
-    lock_path = target.with_name(target.name + ".lock")
+    # Key the advisory lock by the resolved target so every writer to
+    # the same history file contends on the same side-file, wherever
+    # they were launched from.
+    lock_key = hashlib.sha256(
+        str(target.resolve()).encode("utf-8")).hexdigest()[:16]
+    lock_path = Path(tempfile.gettempdir()) / f"repro-bench-{lock_key}.lock"
     with open(lock_path, "a+") as lock_file:
         if fcntl is not None:
             fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)

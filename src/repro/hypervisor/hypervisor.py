@@ -41,8 +41,9 @@ handling — matching Fig. 6c, where no IRQ is delayed.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.core.independence import InterferenceKind, InterferenceLedger
 from repro.core.policy import HandlingMode
@@ -80,6 +81,154 @@ class LatencyRecord:
     @property
     def latency(self) -> int:
         return self.completed_at - self.arrival
+
+
+#: Stable mode numbering for the columnar store (enum declaration order).
+_MODES = tuple(HandlingMode)
+_MODE_CODE = {mode: code for code, mode in enumerate(_MODES)}
+
+
+class LatencyColumns:
+    """Columnar store of measured IRQ latencies.
+
+    At paper scale a run completes tens of thousands of IRQs, and the
+    seed implementation boxed each one in a frozen
+    :class:`LatencyRecord` on the completion hot path.  This store
+    keeps the same data as parallel ``array`` columns — one C-level
+    append per field, no per-sample Python object — plus an O(1)
+    per-source completion count (``run_until_irq_count`` used to rescan
+    the record list around every completion when filtering by source).
+
+    Timestamps use ``array('q')`` (64-bit): a 600 s scenario at 200 MHz
+    reaches 1.2e11 cycles, beyond 32 bits.  Sources are interned to
+    small ids (``array('h')``), handling modes and cut flags to bytes.
+
+    :class:`LatencyRecord` remains the public per-record view —
+    ``Hypervisor.latency_records`` materializes records from the
+    columns on demand — and the snapshot wire format is unchanged
+    (:meth:`record_tuples` reproduces the exact tuples PR 4 shipped).
+    """
+
+    __slots__ = ("_source_ids", "_seqs", "_arrivals", "_completions",
+                 "_modes", "_cuts", "_source_names", "_source_index",
+                 "_source_counts")
+
+    def __init__(self):
+        self._source_ids = array("h")
+        self._seqs = array("q")
+        self._arrivals = array("q")
+        self._completions = array("q")
+        self._modes = array("b")
+        self._cuts = array("b")
+        self._source_names: list[str] = []
+        self._source_index: dict[str, int] = {}
+        self._source_counts: list[int] = []
+
+    def append(self, source: str, seq: int, arrival: int, completed_at: int,
+               mode: HandlingMode, enforced_cut: bool) -> None:
+        sid = self._source_index.get(source)
+        if sid is None:
+            sid = len(self._source_names)
+            self._source_index[source] = sid
+            self._source_names.append(source)
+            self._source_counts.append(0)
+        self._source_ids.append(sid)
+        self._seqs.append(seq)
+        self._arrivals.append(arrival)
+        self._completions.append(completed_at)
+        self._modes.append(_MODE_CODE[mode])
+        self._cuts.append(enforced_cut)
+        self._source_counts[sid] += 1
+
+    def __len__(self) -> int:
+        return len(self._seqs)
+
+    def count(self, source: Optional[str] = None) -> int:
+        """Completed IRQs, optionally for one source — O(1) either way."""
+        if source is None:
+            return len(self._seqs)
+        sid = self._source_index.get(source)
+        return 0 if sid is None else self._source_counts[sid]
+
+    def _iter_records(self) -> Iterator[LatencyRecord]:
+        names = self._source_names
+        for sid, seq, arrival, completed_at, mode, cut in zip(
+                self._source_ids, self._seqs, self._arrivals,
+                self._completions, self._modes, self._cuts):
+            yield LatencyRecord(names[sid], seq, arrival, completed_at,
+                                _MODES[mode], bool(cut))
+
+    def records(self) -> list[LatencyRecord]:
+        """Materialize the columns as the classic record list."""
+        return list(self._iter_records())
+
+    def record_tuples(self) -> list[tuple]:
+        """Snapshot wire format: byte-identical to the boxed-record era."""
+        names = self._source_names
+        return [
+            (names[sid], seq, arrival, completed_at,
+             _MODES[mode].value, bool(cut))
+            for sid, seq, arrival, completed_at, mode, cut in zip(
+                self._source_ids, self._seqs, self._arrivals,
+                self._completions, self._modes, self._cuts)
+        ]
+
+    def restore_tuples(self, tuples: Sequence[tuple]) -> None:
+        for source, seq, arrival, completed_at, mode, enforced_cut in tuples:
+            self.append(source, seq, arrival, completed_at,
+                        HandlingMode(mode), enforced_cut)
+
+    def latencies_cycles(self) -> array:
+        """All latencies in cycles, in completion order, as ``array('q')``."""
+        out = array("q", self._completions)
+        arrivals = self._arrivals
+        for index in range(len(out)):
+            out[index] -= arrivals[index]
+        return out
+
+    def latencies_us(self, clock: Clock, source: Optional[str] = None,
+                     mode: Optional[HandlingMode] = None) -> list[float]:
+        """Latencies in µs, optionally filtered — a plain list, matching
+        the public :meth:`Hypervisor.latencies_us` contract."""
+        cycles_to_us = clock.cycles_to_us
+        if source is None and mode is None:
+            return [cycles_to_us(c - a)
+                    for a, c in zip(self._arrivals, self._completions)]
+        sid = None
+        if source is not None:
+            sid = self._source_index.get(source)
+            if sid is None:
+                return []
+        code = None if mode is None else _MODE_CODE[mode]
+        return [
+            cycles_to_us(c - a)
+            for a, c, s, m in zip(self._arrivals, self._completions,
+                                  self._source_ids, self._modes)
+            if (sid is None or s == sid) and (code is None or m == code)
+        ]
+
+    def latencies_us_array(self, clock: Clock) -> array:
+        """All latencies in µs, in completion order, as ``array('d')``.
+
+        Element values are computed with the same ``clock.cycles_to_us``
+        call as the list form, so the floats are bit-identical.
+        """
+        cycles_to_us = clock.cycles_to_us
+        return array("d", (cycles_to_us(c - a)
+                           for a, c in zip(self._arrivals, self._completions)))
+
+    def mode_counts(self, source: Optional[str] = None) -> dict[HandlingMode, int]:
+        counts = [0] * len(_MODES)
+        if source is None:
+            for code in self._modes:
+                counts[code] += 1
+        else:
+            sid = self._source_index.get(source)
+            if sid is not None:
+                for s, code in zip(self._source_ids, self._modes):
+                    if s == sid:
+                        counts[code] += 1
+        return {mode: counts[code] for code, mode in enumerate(_MODES)}
 
 
 @dataclass
@@ -176,7 +325,7 @@ class Hypervisor:
         self.context_switches = ContextSwitchModel(self.config.costs)
         self.ledger = InterferenceLedger()
         self.stats = HypervisorStats()
-        self.latency_records: list[LatencyRecord] = []
+        self.latency_columns = LatencyColumns()
 
         self._partitions: dict[str, Partition] = {}
         self._sources_by_line: dict[int, IrqSource] = {}
@@ -189,7 +338,9 @@ class Hypervisor:
         self._ipc_router = None  # set via attach_ipc_router
         # Per-completion hook installed by run_until_irq_count so the
         # engine stops itself instead of being polled event by event.
-        self._completion_watcher: Optional[Callable[[LatencyRecord], None]] = None
+        # Receives the completed IRQ's source name (the one field the
+        # watcher filters on — cheaper than materializing a record).
+        self._completion_watcher: Optional[Callable[[str], None]] = None
         # Handle of the pending TDMA boundary event, kept so a world
         # snapshot can claim and re-bind it (see repro.sim.snapshot).
         self._boundary_handle: Optional[EventHandle] = None
@@ -295,17 +446,18 @@ class Hypervisor:
         Completion is detected by a watcher invoked from
         :meth:`_complete_event` that calls :meth:`SimulationEngine.stop`
         once the target is reached, so the engine runs its inlined
-        dispatch loop instead of re-evaluating a predicate (and, for
-        filtered counts, rescanning ``latency_records``) around every
+        dispatch loop instead of re-evaluating a predicate around every
         single event.  The time limit is likewise a scheduled stop
-        event rather than a per-event comparison.
+        event rather than a per-event comparison, and the completed
+        count (per source or total) is an O(1) read off the columnar
+        store.
         """
         self._require_started()
 
+        columns = self.latency_columns
+
         def completed() -> int:
-            if source is None:
-                return len(self.latency_records)
-            return sum(1 for rec in self.latency_records if rec.source == source)
+            return columns.count(source)
 
         engine = self.engine
         remaining = count - completed()
@@ -316,8 +468,8 @@ class Hypervisor:
 
         state = [remaining]
 
-        def watcher(record: LatencyRecord) -> None:
-            if source is not None and record.source != source:
+        def watcher(completed_source: str) -> None:
+            if source is not None and completed_source != source:
                 return
             left = state[0] - 1
             state[0] = left
@@ -350,23 +502,24 @@ class Hypervisor:
     # Convenience accessors
     # ------------------------------------------------------------------
 
+    @property
+    def latency_records(self) -> list[LatencyRecord]:
+        """Measured latencies as :class:`LatencyRecord` objects.
+
+        Materialized on demand from :attr:`latency_columns` — the hot
+        completion path appends columns, not boxed records, so grab
+        this list once rather than per access in tight loops.
+        """
+        return self.latency_columns.records()
+
     def latencies_us(self, source: Optional[str] = None,
                      mode: Optional[HandlingMode] = None) -> list[float]:
         """Measured IRQ latencies in microseconds, optionally filtered."""
-        return [
-            self.clock.cycles_to_us(rec.latency)
-            for rec in self.latency_records
-            if (source is None or rec.source == source)
-            and (mode is None or rec.mode == mode)
-        ]
+        return self.latency_columns.latencies_us(self.clock, source, mode)
 
     def mode_counts(self, source: Optional[str] = None) -> dict[HandlingMode, int]:
         """How many IRQs completed in each handling mode."""
-        counts = {mode: 0 for mode in HandlingMode}
-        for rec in self.latency_records:
-            if source is None or rec.source == source:
-                counts[rec.mode] += 1
-        return counts
+        return self.latency_columns.mode_counts(source)
 
     # ------------------------------------------------------------------
     # IRQ entry (interrupt controller dispatcher)
@@ -894,18 +1047,12 @@ class Hypervisor:
         self.trace.emit(now, TraceKind.BOTTOM_HANDLER_END,
                         source=event.source.name, seq=event.seq,
                         mode=mode.value, latency=event.latency)
-        record = LatencyRecord(
-            source=event.source.name,
-            seq=event.seq,
-            arrival=event.arrival,
-            completed_at=now,
-            mode=mode,
-            enforced_cut=event.enforced_cut,
-        )
-        self.latency_records.append(record)
+        source_name = event.source.name
+        self.latency_columns.append(source_name, event.seq, event.arrival,
+                                    now, mode, event.enforced_cut)
         watcher = self._completion_watcher
         if watcher is not None:
-            watcher(record)
+            watcher(source_name)
         if event.source.activates_task is not None:
             if partition.guest is None:
                 raise RuntimeError(
@@ -993,11 +1140,7 @@ class Hypervisor:
             "context_switches": self.context_switches.snapshot_state(),
             "ledger": self.ledger.snapshot_state(),
             "stats": asdict(self.stats),
-            "latency_records": [
-                (rec.source, rec.seq, rec.arrival, rec.completed_at,
-                 rec.mode.value, rec.enforced_cut)
-                for rec in self.latency_records
-            ],
+            "latency_records": self.latency_columns.record_tuples(),
             "irq_seq": dict(self._irq_seq),
             "partitions": [
                 partition.snapshot_state()
@@ -1115,12 +1258,7 @@ class Hypervisor:
         hv.context_switches.restore_state(state["context_switches"])
         hv.ledger.restore_state(state["ledger"])
         hv.stats = HypervisorStats(**state["stats"])
-        hv.latency_records = [
-            LatencyRecord(source, seq, arrival, completed_at,
-                          HandlingMode(mode), enforced_cut)
-            for source, seq, arrival, completed_at, mode, enforced_cut
-            in state["latency_records"]
-        ]
+        hv.latency_columns.restore_tuples(state["latency_records"])
         for pstate in state["partitions"]:
             hv.add_partition(Partition.restore_from_snapshot(pstate))
         for sstate in state["sources"]:

@@ -61,8 +61,13 @@ class LatencyHistogram:
         self._counts[index] += 1
 
     def add_all(self, values: Iterable[float]) -> None:
+        # One bound-method lookup for the whole (possibly columnar)
+        # sample.  Deliberately NOT bulk-summed: self._sum must
+        # accumulate in per-value order so histogram totals stay
+        # bit-identical to the one-at-a-time path.
+        add = self.add
         for value in values:
-            self.add(value)
+            add(value)
 
     @property
     def total(self) -> int:

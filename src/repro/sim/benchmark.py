@@ -17,14 +17,103 @@ measured.  Used by ``benchmarks/test_bench_engine.py`` and by the
 ``--bench-json`` option of ``python -m repro.experiments``, which
 records the result in ``BENCH_experiments.json`` so engine-throughput
 regressions are caught across PRs.
+
+:func:`measure_backend_ab` additionally races every pluggable queue
+backend (:mod:`repro.sim.queue`) against a frozen copy of the pre-PR-5
+heap loop (:class:`_LegacyHeapEngine`), interleaving the contenders
+round-robin in one process so host noise hits them all alike; its
+result names the winning backend and is what ``--bench-json`` records
+under ``engine_ab``.
 """
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+from typing import Callable, Optional
 
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import COMPACTION_FLOOR, SimulationEngine
+from repro.sim.events import EventHandle
+from repro.sim.queue import QUEUE_BACKENDS
+
+
+class _LegacyHeapEngine:
+    """Frozen copy of the pre-queue-backend engine hot path.
+
+    The A/B baseline: 3-tuple ``(time, seq, handle)`` heap entries, a
+    compaction check on every schedule, and per-event clock/counter
+    writes in the run loop — exactly the loop the ``heap``/``bucket``
+    backends replaced.  Kept verbatim (not imported from history) so
+    the benchmark is self-contained and the baseline can never drift.
+    """
+
+    __slots__ = ("_heap", "_now", "_seq", "_events_executed", "_running",
+                 "_stop_requested", "_pending", "_cancelled_count",
+                 "_compactions")
+
+    def __init__(self):
+        self._heap: list = []
+        self._now = 0
+        self._seq = 0
+        self._events_executed = 0
+        self._running = False
+        self._stop_requested = False
+        self._pending = 0
+        self._cancelled_count = 0
+        self._compactions = 0
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 label: Optional[str] = None, *,
+                 _push=heappush, _handle=EventHandle) -> EventHandle:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        time_ = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = _handle(time_, seq, callback, label, self)
+        self._pending += 1
+        _push(self._heap, (time_, seq, handle))
+        dead = len(self._heap) - self._pending
+        if dead > COMPACTION_FLOOR and dead > self._pending:
+            self._compact()
+        return handle
+
+    def _event_cancelled(self) -> None:
+        # The historical engine inlined this in EventHandle.cancel.
+        self._pending -= 1
+        self._cancelled_count += 1
+
+    def _compact(self) -> None:
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2]._cancelled]
+        heapify(heap)
+        self._compactions += 1
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        executed = 0
+        self._running = True
+        self._stop_requested = False
+        heap = self._heap
+        try:
+            while heap and not self._stop_requested:
+                time_, _seq, handle = heappop(heap)
+                if handle._cancelled:
+                    continue
+                self._now = time_
+                handle._fired = True
+                self._pending -= 1
+                self._events_executed += 1
+                handle.callback()
+                executed += 1
+        finally:
+            self._running = False
+        return executed
 
 
 @dataclass(frozen=True)
@@ -44,9 +133,11 @@ class EngineBenchmarkResult:
         return self.events_executed / self.elapsed_seconds
 
 
-def _run_chain(events: int, cancel_every: int) -> tuple[int, int, float]:
+def _run_chain(events: int, cancel_every: int,
+               engine_factory: Callable[[], object] = SimulationEngine
+               ) -> tuple[int, int, float]:
     """Tick chain: one live event at a time, plus cancelled decoys."""
-    engine = SimulationEngine()
+    engine = engine_factory()
     remaining = [events]
     cancelled = [0]
 
@@ -64,16 +155,21 @@ def _run_chain(events: int, cancel_every: int) -> tuple[int, int, float]:
             cancelled[0] += 1
 
     engine.schedule(1, tick)
+    # Collect before timing: when the benchmark runs after a campaign
+    # the heap is full of long-lived garbage, and whichever contender
+    # happens to trip the next gen-2 collection pays for all of it.
+    gc.collect()
     started = time.perf_counter()
     engine.run()
     elapsed = time.perf_counter() - started
     return engine.events_executed, cancelled[0], elapsed
 
 
-def _run_pool(events: int, pool_size: int,
-              cancel_every: int) -> tuple[int, int, float]:
+def _run_pool(events: int, pool_size: int, cancel_every: int,
+              engine_factory: Callable[[], object] = SimulationEngine
+              ) -> tuple[int, int, float]:
     """Outstanding-event pool: ``pool_size`` live events churn forever."""
-    engine = SimulationEngine()
+    engine = engine_factory()
     remaining = [events]
     cancelled = [0]
     # Deterministic, varied delays so the heap keeps reordering.
@@ -94,6 +190,7 @@ def _run_pool(events: int, pool_size: int,
 
     for i in range(pool_size):
         engine.schedule(1 + i, tick)
+    gc.collect()
     started = time.perf_counter()
     engine.run()
     elapsed = time.perf_counter() - started
@@ -135,3 +232,69 @@ def measure_engine_throughput(events: int = 200_000,
             best = result
     assert best is not None
     return best
+
+
+@dataclass(frozen=True)
+class BackendABResult:
+    """Outcome of the interleaved queue-backend A/B race.
+
+    ``results`` holds the best-of-repeats measurement per contender:
+    the ``legacy`` baseline plus one entry per registered queue
+    backend.  ``winner`` is the fastest *backend* (the baseline cannot
+    win — it exists to be beaten, and :meth:`improvement` reports by
+    how much).
+    """
+
+    results: dict[str, EngineBenchmarkResult]
+    baseline: str
+    winner: str
+
+    def improvement(self, name: Optional[str] = None) -> float:
+        """Fractional events/s gain of ``name`` (default: the winner)
+        over the baseline — e.g. ``0.25`` for 25% faster."""
+        base = self.results[self.baseline].events_per_second
+        if base <= 0:
+            return 0.0
+        contender = self.results[name or self.winner].events_per_second
+        return contender / base - 1.0
+
+
+def measure_backend_ab(events: int = 200_000,
+                       cancel_every: int = 4,
+                       repeats: int = 3,
+                       pool_size: int = 64) -> BackendABResult:
+    """Race every queue backend against the frozen legacy loop.
+
+    All contenders run the same chain+pool workload, interleaved
+    round-robin within each repeat so host interference lands on
+    everyone alike — the only comparison that reliably resolves
+    10–30% deltas on a shared machine (back-to-back separate processes
+    vary by more than that).  Best-of-``repeats`` per contender, same
+    rationale as :func:`measure_engine_throughput`.
+    """
+    if events <= 0:
+        raise ValueError(f"events must be positive, got {events}")
+    per_phase = max(1, events // 2)
+    factories: dict[str, Callable[[], object]] = {"legacy": _LegacyHeapEngine}
+    for name, backend_cls in QUEUE_BACKENDS.items():
+        factories[name] = backend_cls
+    best: dict[str, EngineBenchmarkResult] = {}
+    for _ in range(max(1, repeats)):
+        for name, factory in factories.items():
+            chain_n, chain_c, chain_t = _run_chain(
+                per_phase, cancel_every, engine_factory=factory)
+            pool_n, pool_c, pool_t = _run_pool(
+                per_phase, pool_size, cancel_every, engine_factory=factory)
+            result = EngineBenchmarkResult(
+                events_executed=chain_n + pool_n,
+                cancelled_events=chain_c + pool_c,
+                elapsed_seconds=chain_t + pool_t,
+                chain_events_per_second=chain_n / chain_t if chain_t > 0 else 0.0,
+                pool_events_per_second=pool_n / pool_t if pool_t > 0 else 0.0,
+            )
+            current = best.get(name)
+            if current is None or result.events_per_second > current.events_per_second:
+                best[name] = result
+    winner = max(QUEUE_BACKENDS,
+                 key=lambda name: best[name].events_per_second)
+    return BackendABResult(results=best, baseline="legacy", winner=winner)

@@ -1,37 +1,44 @@
 """Discrete-event simulation engine.
 
-A minimal, deterministic event-driven kernel: a binary heap of
-timestamped callbacks with stable FIFO ordering for simultaneous
-events, lazy cancellation, and bounded-run helpers.  All timestamps
-are integer CPU cycles (see :mod:`repro.sim.clock`).
+A minimal, deterministic event-driven kernel: timestamped callbacks
+with stable FIFO ordering for simultaneous events, lazy cancellation,
+and bounded-run helpers.  All timestamps are integer CPU cycles (see
+:mod:`repro.sim.clock`).
 
 The engine is deliberately free of any domain knowledge; the
 hypervisor, timers and interrupt controller are built on top of it.
 
 The dispatch loop is the hottest code in the whole reproduction —
-every simulated IRQ costs a dozen engine events — so the
-implementation is shaped around per-event constant factors:
+every simulated IRQ costs a dozen engine events — so the *storage* of
+pending events is pluggable (see :mod:`repro.sim.queue`): this module
+defines the backend-independent contract (scheduling API, counters,
+stop sentinels, snapshot/restore), and concrete queue backends supply
+the hot ``schedule``/``run`` paths:
 
-* heap entries are ``(time, seq, handle)`` tuples, so sift
-  comparisons are C-level tuple compares instead of a Python
-  ``__lt__`` call per comparison;
-* :meth:`run` and :meth:`run_until` inline the pop-skip-cancelled
-  loop instead of calling :meth:`step` per event, and touch handle
-  slots directly instead of going through properties;
-* the pending-event count is a live counter updated on
-  schedule/cancel/fire rather than an O(n) heap scan.
+* ``heap`` — a binary heap of ``(time, seq, callback, handle)``
+  tuples, so sift comparisons are C-level tuple compares;
+* ``bucket`` — a calendar/timing-wheel hybrid bucketing simultaneous
+  events per timestamp, so same-cycle batches dispatch without any
+  heap sifts at all.
+
+Both backends emit the exact same ``(time, seq)`` FIFO order, pinned
+by the A/B property tests in ``tests/test_queue_backends.py`` —
+traces, latency CSVs and world-snapshot digests are byte-identical
+regardless of the backend.  ``SimulationEngine(...)`` transparently
+constructs the configured backend: an explicit ``backend=`` argument
+wins, then the ``REPRO_QUEUE_BACKEND`` environment variable, then the
+measured-faster default (see ``repro.sim.queue.DEFAULT_QUEUE_BACKEND``).
 """
 
 from __future__ import annotations
 
-from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.sim.events import EventHandle
 
-#: Minimum number of dead (lazily-cancelled) heap entries before a
+#: Minimum number of dead (lazily-cancelled) queue entries before a
 #: compaction is considered.  Below this floor the dead entries are
-#: cheaper to skip during pops than to filter out.
+#: cheaper to skip during dispatch than to filter out.
 COMPACTION_FLOOR = 64
 
 
@@ -44,18 +51,37 @@ class SimulationEngine:
 
     Events scheduled for the same timestamp fire in scheduling order
     (stable FIFO), which makes simulations reproducible regardless of
-    heap internals: the unique, monotonically increasing ``seq`` in
-    each heap entry breaks timestamp ties.
+    queue internals: the unique, monotonically increasing ``seq``
+    attached to each event breaks timestamp ties.
+
+    This base class holds everything backend-independent — counters,
+    sentinels, snapshot/restore — while the queue backends
+    (:mod:`repro.sim.queue`) implement event storage and the inlined
+    dispatch loops.  Instantiating ``SimulationEngine`` directly
+    returns the configured backend::
+
+        engine = SimulationEngine()                  # resolved default
+        engine = SimulationEngine(backend="heap")    # explicit choice
     """
 
-    __slots__ = ("_heap", "_now", "_seq", "_events_executed", "_running",
-                 "_stop_requested", "_pending", "_cancelled_count",
-                 "_compactions", "_sentinel_seq")
+    #: Overridden by each backend; used for telemetry and ``repr``.
+    backend_name = "abstract"
 
-    def __init__(self):
-        # Heap of (time, seq, EventHandle); seq is unique, so the
-        # handle itself is never compared.
-        self._heap: list[tuple[int, int, EventHandle]] = []
+    __slots__ = ("_now", "_seq", "_events_executed", "_running",
+                 "_stop_requested", "_pending", "_cancelled_count",
+                 "_compactions", "_sentinel_seq", "_dispatch_batches")
+
+    def __new__(cls, backend: Optional[str] = None):
+        if cls is SimulationEngine:
+            # Lazy import: queue.py subclasses this module's base class.
+            from repro.sim.queue import resolve_backend_class
+
+            cls = resolve_backend_class(backend)
+        return object.__new__(cls)
+
+    def __init__(self, backend: Optional[str] = None):
+        # ``backend`` was consumed by __new__'s dispatch; accepted (and
+        # ignored) here so ``SimulationEngine(backend=...)`` initializes.
         self._now: int = 0
         self._seq: int = 0
         self._events_executed: int = 0
@@ -64,10 +90,18 @@ class SimulationEngine:
         self._pending: int = 0
         self._cancelled_count: int = 0
         self._compactions: int = 0
+        # Number of distinct-timestamp batches the dispatch loops have
+        # drained; with same-cycle batch dispatch the clock is written
+        # once per batch, not once per event.
+        self._dispatch_batches: int = 0
         # Sentinel events (schedule_stop_at) use negative sequence
         # numbers so they never consume — or perturb — the FIFO
         # tie-break sequence of ordinary events.
         self._sentinel_seq: int = -1
+
+    # ------------------------------------------------------------------
+    # Counters and introspection
+    # ------------------------------------------------------------------
 
     @property
     def now(self) -> int:
@@ -88,69 +122,117 @@ class SimulationEngine:
     def events_cancelled(self) -> int:
         """Total number of events cancelled before firing.
 
-        Maintained by :meth:`~repro.sim.events.EventHandle.cancel`; the
-        telemetry collectors sample this (and the other live counters)
-        after a run, so the dispatch loop itself carries no
-        instrumentation cost.
+        Maintained by :meth:`~repro.sim.events.EventHandle.cancel` via
+        the :meth:`_event_cancelled` hook; the telemetry collectors
+        sample this (and the other live counters) after a run, so the
+        dispatch loop itself carries no instrumentation cost.
         """
         return self._cancelled_count
 
     @property
     def heap_depth(self) -> int:
-        """Current heap size, including lazily-cancelled dead entries."""
-        return len(self._heap)
+        """Stored entries, including lazily-cancelled dead ones.
+
+        The name predates the pluggable backends: for the bucket
+        backend this is the total entry count across all buckets.
+        """
+        raise NotImplementedError
 
     @property
     def compactions(self) -> int:
-        """Number of heap compactions performed (dead-entry rebuilds)."""
+        """Number of queue compactions performed (dead-entry rebuilds)."""
         return self._compactions
+
+    @property
+    def dispatch_batches(self) -> int:
+        """Distinct-timestamp batches drained by the dispatch loops.
+
+        Events sharing a timestamp are dispatched as one batch with a
+        single clock write; ``events_executed / dispatch_batches`` is
+        the average same-cycle batch size.
+        """
+        return self._dispatch_batches
 
     @property
     def pending_events(self) -> int:
         """Number of scheduled-but-not-yet-fired events (excluding cancelled).
 
-        Maintained as an exact live counter (O(1)); the heap itself may
-        still contain lazily-cancelled entries awaiting removal.
+        Maintained as an exact live counter (O(1)); the queue itself
+        may still contain lazily-cancelled entries awaiting removal.
         """
         return self._pending
 
-    # ``_push``/``_handle`` defaults bind heappush/EventHandle as fast
-    # locals instead of per-call global lookups (stdlib-style hot-path
-    # idiom; callers must not pass them).
+    # ------------------------------------------------------------------
+    # Backend contract (hot paths implemented per backend)
+    # ------------------------------------------------------------------
+
     def schedule(self, delay: int, callback: Callable[[], Any],
-                 label: Optional[str] = None, *,
-                 _push=heappush, _handle=EventHandle) -> EventHandle:
+                 label: Optional[str] = None) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        time = self._now + delay
-        seq = self._seq
-        self._seq = seq + 1
-        handle = _handle(time, seq, callback, label, self)
-        self._pending += 1
-        _push(self._heap, (time, seq, handle))
-        dead = len(self._heap) - self._pending
-        if dead > COMPACTION_FLOOR and dead > self._pending:
-            self._compact()
-        return handle
+        raise NotImplementedError
 
     def schedule_at(self, time: int, callback: Callable[[], Any],
-                    label: Optional[str] = None, *,
-                    _push=heappush, _handle=EventHandle) -> EventHandle:
+                    label: Optional[str] = None) -> EventHandle:
         """Schedule ``callback`` to run at absolute time ``time``."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule an event in the past (t={time}, now={self._now})"
-            )
-        seq = self._seq
-        self._seq = seq + 1
-        handle = _handle(time, seq, callback, label, self)
-        self._pending += 1
-        _push(self._heap, (time, seq, handle))
-        dead = len(self._heap) - self._pending
-        if dead > COMPACTION_FLOOR and dead > self._pending:
-            self._compact()
-        return handle
+        raise NotImplementedError
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue is empty (or ``max_events`` fired).
+
+        Returns the number of events executed by this call.
+        """
+        raise NotImplementedError
+
+    def run_until(self, time: int) -> int:
+        """Run all events with timestamps <= ``time``; advance clock to ``time``.
+
+        Returns the number of events executed by this call.
+        """
+        raise NotImplementedError
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns True if an event was executed, False if the queue was
+        exhausted (only cancelled or no events remained).
+        """
+        raise NotImplementedError
+
+    def live_entries(self) -> list[tuple[int, int, EventHandle]]:
+        """All pending (non-cancelled) ``(time, seq, handle)`` entries,
+        sorted by ``(time, seq)`` — i.e. in dispatch order — so the
+        listing is identical across queue backends."""
+        raise NotImplementedError
+
+    def _insert_entry(self, time: int, seq: int, callback: Callable[[], Any],
+                      handle: EventHandle) -> None:
+        """Insert a fully-built entry into backend storage.
+
+        Cold path shared by :meth:`schedule_stop_at` (negative seqs)
+        and :meth:`restore_event` (original seqs out of arrival order);
+        backends must tolerate out-of-order sequence numbers here.
+        """
+        raise NotImplementedError
+
+    def _event_cancelled(self) -> None:
+        """Account a cancellation (called by :meth:`EventHandle.cancel`).
+
+        Backends keep the ``pending`` counter exact here and may
+        trigger a compaction when dead entries dominate live ones.
+        """
+        raise NotImplementedError
+
+    def _compact(self) -> None:
+        """Rebuild storage without lazily-cancelled dead entries."""
+        raise NotImplementedError
+
+    def _next_pending(self) -> Optional[EventHandle]:
+        """Peek the earliest non-cancelled event, discarding dead entries."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared cold paths
+    # ------------------------------------------------------------------
 
     def schedule_stop_at(self, time: int) -> EventHandle:
         """Schedule an out-of-band :meth:`stop` at absolute time ``time``.
@@ -176,128 +258,13 @@ class SimulationEngine:
         self._sentinel_seq = seq - 1
         handle = EventHandle(time, seq, self.stop, "stop-sentinel", self)
         self._pending += 1
-        heappush(self._heap, (time, seq, handle))
+        self._insert_entry(time, seq, self.stop, handle)
         return handle
-
-    def _compact(self) -> None:
-        """Rebuild the heap without lazily-cancelled dead entries.
-
-        Mutates the heap list *in place* — :meth:`run` holds a local
-        alias to it — and preserves every live ``(time, seq, handle)``
-        entry exactly, so event ordering (and therefore simulation
-        output) is unchanged.
-        """
-        heap = self._heap
-        heap[:] = [entry for entry in heap if not entry[2]._cancelled]
-        heapify(heap)
-        self._compactions += 1
-
-    def step(self) -> bool:
-        """Execute the next pending event.
-
-        Returns True if an event was executed, False if the queue was
-        exhausted (only cancelled or no events remained).
-        """
-        heap = self._heap
-        while heap:
-            time, _seq, handle = heappop(heap)
-            if handle._cancelled:
-                continue
-            self._now = time
-            handle._fired = True
-            self._pending -= 1
-            self._events_executed += 1
-            handle.callback()
-            return True
-        return False
-
-    def run(self, max_events: Optional[int] = None) -> int:
-        """Run until the event queue is empty (or ``max_events`` fired).
-
-        Returns the number of events executed by this call.
-        """
-        executed = 0
-        self._running = True
-        self._stop_requested = False
-        dead = len(self._heap) - self._pending
-        if dead > COMPACTION_FLOOR and dead > self._pending:
-            self._compact()
-        heap = self._heap
-        try:
-            if max_events is None:
-                while heap and not self._stop_requested:
-                    time, _seq, handle = heappop(heap)
-                    if handle._cancelled:
-                        continue
-                    self._now = time
-                    handle._fired = True
-                    self._pending -= 1
-                    self._events_executed += 1
-                    handle.callback()
-                    executed += 1
-            else:
-                while heap and not self._stop_requested and executed < max_events:
-                    time, _seq, handle = heappop(heap)
-                    if handle._cancelled:
-                        continue
-                    self._now = time
-                    handle._fired = True
-                    self._pending -= 1
-                    self._events_executed += 1
-                    handle.callback()
-                    executed += 1
-        finally:
-            self._running = False
-        return executed
-
-    def run_until(self, time: int) -> int:
-        """Run all events with timestamps <= ``time``; advance clock to ``time``.
-
-        Returns the number of events executed by this call.
-        """
-        if time < self._now:
-            raise SimulationError(f"cannot run backwards (t={time}, now={self._now})")
-        executed = 0
-        self._running = True
-        self._stop_requested = False
-        dead = len(self._heap) - self._pending
-        if dead > COMPACTION_FLOOR and dead > self._pending:
-            self._compact()
-        heap = self._heap
-        try:
-            while not self._stop_requested:
-                while heap and heap[0][2]._cancelled:
-                    heappop(heap)
-                if not heap or heap[0][0] > time:
-                    break
-                event_time, _seq, handle = heappop(heap)
-                self._now = event_time
-                handle._fired = True
-                self._pending -= 1
-                self._events_executed += 1
-                handle.callback()
-                executed += 1
-        finally:
-            self._running = False
-        if not self._stop_requested:
-            self._now = max(self._now, time)
-        return executed
 
     def stop(self) -> None:
         """Request that the current :meth:`run`/:meth:`run_until` stop
         after the in-flight event completes."""
         self._stop_requested = True
-
-    def _next_pending(self) -> Optional[EventHandle]:
-        """Peek the earliest non-cancelled event, discarding dead entries."""
-        heap = self._heap
-        while heap:
-            handle = heap[0][2]
-            if handle._cancelled:
-                heappop(heap)
-                continue
-            return handle
-        return None
 
     def peek_next_time(self) -> Optional[int]:
         """Timestamp of the next pending event, or None if queue is empty."""
@@ -307,7 +274,7 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # Snapshot/fork support (see repro.sim.snapshot).
     #
-    # The engine cannot serialize its heap directly — scheduled
+    # The engine cannot serialize its queue directly — scheduled
     # callbacks are closures over the old world — so a snapshot
     # records the live (time, seq, label) entries, each component
     # *claims* the entries it owns, and on restore each component
@@ -317,10 +284,6 @@ class SimulationEngine:
     # byte-identical to the straight-line run.
     # ------------------------------------------------------------------
 
-    def live_entries(self) -> list[tuple[int, int, EventHandle]]:
-        """All pending (non-cancelled) ``(time, seq, handle)`` heap entries."""
-        return [entry for entry in self._heap if not entry[2]._cancelled]
-
     def snapshot_state(self) -> dict:
         """Plain-data counter state for a world snapshot.
 
@@ -329,14 +292,18 @@ class SimulationEngine:
         before any ordinary event at the same time, and at most one
         stop sentinel is meaningfully pending), and a forked
         continuation must allocate sentinels exactly like the fresh
-        engine of a straight-line run would.
+        engine of a straight-line run would.  The ``compactions`` and
+        ``dispatch_batches`` diagnostics are likewise excluded: they
+        depend on the queue backend, and snapshot digests must be
+        backend-independent (both backends produce the same semantic
+        state, so a world captured under ``heap`` restores — and
+        digests — identically under ``bucket``).
         """
         return {
             "now": self._now,
             "seq": self._seq,
             "events_executed": self._events_executed,
             "events_cancelled": self._cancelled_count,
-            "compactions": self._compactions,
             "pending": self._pending,
         }
 
@@ -347,13 +314,12 @@ class SimulationEngine:
         :meth:`restore_event` at a time; the orchestrator asserts the
         final count against ``state["pending"]``.
         """
-        if self._heap or self._seq or self._events_executed:
+        if self.heap_depth or self._seq or self._events_executed:
             raise SimulationError("can only restore state onto a fresh engine")
         self._now = state["now"]
         self._seq = state["seq"]
         self._events_executed = state["events_executed"]
         self._cancelled_count = state["events_cancelled"]
-        self._compactions = state["compactions"]
 
     def restore_event(self, time: int, seq: int, callback: Callable[[], Any],
                       label: Optional[str] = None) -> EventHandle:
@@ -374,8 +340,9 @@ class SimulationEngine:
             )
         handle = EventHandle(time, seq, callback, label, self)
         self._pending += 1
-        heappush(self._heap, (time, seq, handle))
+        self._insert_entry(time, seq, callback, handle)
         return handle
 
     def __repr__(self) -> str:
-        return f"SimulationEngine(now={self._now}, pending={self.pending_events})"
+        return (f"SimulationEngine(backend={self.backend_name!r}, "
+                f"now={self._now}, pending={self.pending_events})")

@@ -41,8 +41,9 @@ class EventHandle:
         self._cancelled = True
         engine = self._engine
         if engine is not None:
-            engine._pending -= 1
-            engine._cancelled_count += 1
+            # The backend keeps its pending counter exact and may
+            # compact its storage when dead entries dominate.
+            engine._event_cancelled()
 
     @property
     def cancelled(self) -> bool:

@@ -162,6 +162,11 @@ def capture_world(world: Any,
     Raises :class:`SnapshotError` unless every pending event is
     claimed by exactly one owner — the quiescence check.
     """
+    if getattr(world.engine, "_running", False):
+        # Mid-dispatch the queue backends hold loop-local drain state
+        # (and counters are batched per run), so live_entries()/counters
+        # would be inconsistent; capture only between runs.
+        raise SnapshotError("cannot capture while the engine is dispatching")
     ctx = SnapshotContext(world.engine, devices)
     state = {
         "format": SNAPSHOT_FORMAT,

@@ -10,6 +10,8 @@ properties.  Recording can be disabled for long benchmark runs.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 from collections import deque
 from itertools import islice
 from dataclasses import dataclass, field
@@ -136,6 +138,19 @@ class TraceRecorder:
         """Discard all retained events."""
         self._events.clear()
         self._dropped = 0
+
+    def digest(self) -> str:
+        """Stable SHA-256 over the canonical JSON of all retained events.
+
+        Two recorders that captured the same simulation have the same
+        digest; the queue-backend A/B tests use this to prove the
+        backends produce byte-identical executions.
+        """
+        payload = json.dumps(
+            [(ev.time, ev.kind.value, ev.data) for ev in self._events],
+            sort_keys=True, separators=(",", ":"), ensure_ascii=False,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def snapshot_state(self) -> dict:
         """Plain-data recorder state (see :mod:`repro.sim.snapshot`).

@@ -70,11 +70,23 @@ def collect_engine(registry: MetricsRegistry, engine: Any,
         "Heap entries, including lazily-cancelled dead ones",
         ("run",),
     ).labels(**labels).set(engine.heap_depth)
+    registry.counter(
+        "sim_dispatch_batches_total",
+        "Distinct-timestamp batches drained by the dispatch loops "
+        "(events/batches = average same-cycle batch size)",
+        ("run",),
+    ).labels(**labels).inc(engine.dispatch_batches)
     registry.gauge(
         "sim_now_cycles",
         "Current simulation time in cycles",
         ("run",),
     ).labels(**labels).set(engine.now)
+    registry.gauge(
+        "sim_queue_backend_info",
+        "Queue backend selected for this engine (info gauge: value 1, "
+        "backend carried in the label)",
+        ("run", "backend"),
+    ).labels(run=run, backend=getattr(engine, "backend_name", "unknown")).set(1)
 
 
 def collect_hypervisor(registry: MetricsRegistry, hv: Any,

@@ -1,35 +1,44 @@
 """Property-based tests of the discrete-event engine's invariants.
 
-The engine's hot path is aggressively tuned (tuple heap entries,
-inlined pop loops, an O(1) pending counter maintained across lazy
-cancellation), so these hypothesis tests pin down the semantics the
-tuning must preserve:
+The engine's hot paths are aggressively tuned (tuple queue entries,
+inlined dispatch loops, an O(1) pending counter maintained across lazy
+cancellation) and pluggable (heap and bucket queue backends, see
+:mod:`repro.sim.queue`), so these hypothesis tests pin down the
+semantics every backend must preserve:
 
 * events fire in (time, insertion order) — FIFO among simultaneous
   events — for *any* schedule;
 * cancelled events never fire, no matter how cancellation interleaves
   with scheduling and execution;
 * ``pending_events`` always equals the brute-force count of live
-  handles, even though cancelled entries linger in the heap until
-  popped.
+  handles, even though cancelled entries linger in storage until
+  drained or compacted.
+
+Each test runs against every registered backend.  The deeper
+cross-backend equivalence (identical traces, CSVs, snapshot digests)
+lives in ``tests/test_queue_backends.py``.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim.engine import SimulationEngine
+from repro.sim.queue import QUEUE_BACKENDS
+
+pytestmark = pytest.mark.parametrize("backend", sorted(QUEUE_BACKENDS))
 
 
-def _live_heap_count(engine: SimulationEngine) -> int:
+def _live_entry_count(engine: SimulationEngine) -> int:
     """Brute-force ground truth the O(1) counter must match."""
-    return sum(1 for _, _, handle in engine._heap if not handle._cancelled)
+    return len(engine.live_entries())
 
 
 @settings(deadline=None)
 @given(delays=st.lists(st.integers(min_value=0, max_value=20),
                        min_size=1, max_size=60))
-def test_fifo_ordering_for_any_schedule(delays):
+def test_fifo_ordering_for_any_schedule(backend, delays):
     """Execution order is (time, insertion seq) — stable FIFO."""
-    engine = SimulationEngine()
+    engine = SimulationEngine(backend=backend)
     fired = []
     expected = []
     for index, delay in enumerate(delays):
@@ -47,9 +56,9 @@ def test_fifo_ordering_for_any_schedule(delays):
     st.tuples(st.integers(min_value=0, max_value=20), st.booleans()),
     min_size=1, max_size=60,
 ))
-def test_cancelled_events_never_fire(plan):
+def test_cancelled_events_never_fire(backend, plan):
     """Lazy cancellation: cancelled handles are skipped, order kept."""
-    engine = SimulationEngine()
+    engine = SimulationEngine(backend=backend)
     fired = []
     handles = []
     for index, (delay, _) in enumerate(plan):
@@ -82,15 +91,15 @@ _OPS = st.one_of(
 
 @settings(deadline=None)
 @given(ops=st.lists(_OPS, min_size=1, max_size=80))
-def test_pending_counter_matches_brute_force(ops):
+def test_pending_counter_matches_brute_force(backend, ops):
     """The O(1) counter tracks interleaved schedule/cancel/step exactly.
 
     Regression test for the heap-scan elimination: the seed engine
     recomputed ``pending_events`` by scanning the heap on every access,
     and the counter replacing the scan must stay consistent while
-    cancelled entries are still sitting in the heap.
+    cancelled entries are still sitting in backend storage.
     """
-    engine = SimulationEngine()
+    engine = SimulationEngine(backend=backend)
     live = []
     for op in ops:
         if op == "cancel":
@@ -104,7 +113,7 @@ def test_pending_counter_matches_brute_force(ops):
         else:
             live.append(engine.schedule(op, lambda: None))
         assert engine.pending_events == len(live)
-        assert engine.pending_events == _live_heap_count(engine)
+        assert engine.pending_events == _live_entry_count(engine)
     engine.run()
     assert engine.pending_events == 0
-    assert engine._heap == []
+    assert engine.heap_depth == 0

@@ -1,19 +1,31 @@
-"""Heap compaction under timer churn (engine lazy-cancellation GC).
+"""Queue compaction under timer churn (engine lazy-cancellation GC).
 
-Timer reprogramming cancels lazily: dead entries stay in the heap
-until a compaction rebuilds it.  These tests pin the two guarantees
-the compactor makes: the heap stays bounded under unbounded
+Timer reprogramming cancels lazily: dead entries stay in backend
+storage until a compaction rebuilds it.  These tests pin the two
+guarantees the compactor makes — storage stays bounded under unbounded
 program/cancel churn, and the exact accounting (``pending_events``,
-``peek_next_time``) is unaffected by when compactions happen.
+``peek_next_time``) plus dispatch order are unaffected by when
+compactions happen — for every queue backend.
+
+Compaction triggers at *cancel* time (the only operation that creates
+a dead entry), when dead entries outnumber both ``COMPACTION_FLOOR``
+and the live count.  The heap backend counts dead entries exactly; the
+bucket backend uses cancellations-since-last-compaction as an upper
+bound, which can only make it compact earlier, never later.
 """
+
+import pytest
 
 from repro.sim.engine import COMPACTION_FLOOR, SimulationEngine
 from repro.sim.intc import InterruptController
+from repro.sim.queue import QUEUE_BACKENDS
 from repro.sim.timers import OneShotTimer
 
+pytestmark = pytest.mark.parametrize("backend", sorted(QUEUE_BACKENDS))
 
-def test_reprogram_churn_keeps_heap_depth_bounded():
-    engine = SimulationEngine()
+
+def test_reprogram_churn_keeps_queue_depth_bounded(backend):
+    engine = SimulationEngine(backend=backend)
     intc = InterruptController(engine)
     timer = OneShotTimer(engine, intc, line=0)
     for i in range(10_000):
@@ -26,8 +38,8 @@ def test_reprogram_churn_keeps_heap_depth_bounded():
     assert timer.armed
 
 
-def test_program_cancel_churn_with_no_live_events():
-    engine = SimulationEngine()
+def test_program_cancel_churn_with_no_live_events(backend):
+    engine = SimulationEngine(backend=backend)
     intc = InterruptController(engine)
     timer = OneShotTimer(engine, intc, line=0)
     for _ in range(5_000):
@@ -39,20 +51,20 @@ def test_program_cancel_churn_with_no_live_events():
     assert engine.compactions > 0
 
 
-def test_peek_and_pending_exact_across_compaction():
-    engine = SimulationEngine()
+def test_peek_and_pending_exact_across_compaction(backend):
+    engine = SimulationEngine(backend=backend)
     fired = []
     handles = [engine.schedule(1_000 + i, lambda i=i: fired.append(i))
                for i in range(200)]
     for handle in handles[:150]:
         handle.cancel()
-    assert engine.pending_events == 50
-    # The next push sees 150 dead > 50 live > floor and compacts.
-    # (peek_next_time is NOT consulted first: it would lazily pop the
-    # dead top-of-heap entries itself and sidestep the compactor.)
-    engine.schedule(5_000, lambda: fired.append(-1))
+    # The 101st cancel saw 101 dead > 100 - 1 live > floor and
+    # compacted; the 49 dead entries cancelled after it stay lazily.
     assert engine.compactions >= 1
-    assert engine.heap_depth == engine.pending_events == 51
+    assert engine.pending_events == 50
+    assert engine.heap_depth - engine.pending_events <= COMPACTION_FLOOR
+    engine.schedule(5_000, lambda: fired.append(-1))
+    assert engine.pending_events == 51
     assert engine.peek_next_time() == 1_150
     executed = engine.run()
     assert executed == 51
@@ -60,17 +72,17 @@ def test_peek_and_pending_exact_across_compaction():
     assert engine.pending_events == 0
 
 
-def test_compaction_preserves_fifo_order_of_simultaneous_events():
-    engine = SimulationEngine()
+def test_compaction_preserves_fifo_order_of_simultaneous_events(backend):
+    engine = SimulationEngine(backend=backend)
     order = []
     keep = [engine.schedule(500, lambda i=i: order.append(i))
             for i in range(10)]
     churn = [engine.schedule(400, lambda: order.append(-1))
              for _ in range(80)]
     for handle in churn:
-        handle.cancel()
-    engine.schedule(600, lambda: order.append(99))   # triggers compaction
+        handle.cancel()      # the 65th cancel (65 dead > 25 live) compacts
     assert engine.compactions >= 1
+    engine.schedule(600, lambda: order.append(99))
     engine.run()
     assert order == list(range(10)) + [99]
     assert all(handle.pending is False for handle in keep)

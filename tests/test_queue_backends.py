@@ -1,0 +1,305 @@
+"""Queue-backend equivalence: every backend is observably identical.
+
+The pluggable event-queue backends (:mod:`repro.sim.queue`) promise
+that swapping the ``heap`` and ``bucket`` implementations changes
+*only* wall-clock speed — the ``(time, seq)`` FIFO dispatch order, and
+therefore every downstream artifact, is byte-identical.  These tests
+pin that promise at every layer:
+
+* engine level — a hypothesis-driven random program (nested schedules,
+  same-cycle reschedules, cancellations, stops, a bounded ``run_until``
+  followed by a full drain) executed on every backend must produce the
+  same callback log, clock, counters, batch count, snapshot state and
+  surviving entries;
+* scenario level — a full paper scenario run per backend must produce
+  identical latency records, summaries, CSV bytes and trace digests,
+  and world snapshots captured warm or mid-run must digest identically
+  (including capture-on-one-backend / restore-on-the-other forks);
+* resolution — explicit argument beats ``REPRO_QUEUE_BACKEND`` beats
+  the default, and unknown names fail loudly;
+* the cold out-of-band insert paths (stop sentinels, snapshot
+  ``restore_event``) keep FIFO order on every backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.monitor import DeltaMinusMonitor
+from repro.core.policy import MonitoredInterposing
+from repro.experiments.common import (
+    PaperSystemConfig,
+    build_warm_world,
+    run_irq_scenario,
+    run_irq_scenario_from,
+)
+from repro.metrics.export import write_series_csv
+from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.queue import (
+    DEFAULT_QUEUE_BACKEND,
+    ENV_QUEUE_BACKEND,
+    QUEUE_BACKENDS,
+    BucketQueueEngine,
+    HeapQueueEngine,
+    resolve_backend_name,
+)
+from repro.sim.snapshot import settle
+from repro.workloads.synthetic import clip_to_dmin, exponential_interarrivals
+
+BACKENDS = sorted(QUEUE_BACKENDS)
+
+
+# ------------------------------------------------------- engine-level A/B
+
+#: One root op: (delay, reschedules, follow_delay, cancel_pick, stop_pick).
+#: ``follow_delay`` may be 0 — a same-cycle reschedule, the case the
+#: bucket backend's batch drain must order exactly like the heap.
+_OP = st.tuples(
+    st.integers(0, 60),
+    st.integers(0, 3),
+    st.integers(0, 20),
+    st.one_of(st.none(), st.integers(0, 255)),
+    st.integers(0, 9),
+)
+
+
+def _execute_program(backend: str, program, horizon: int) -> dict:
+    """Run a scripted workload; return everything observable."""
+    engine = SimulationEngine(backend=backend)
+    assert engine.backend_name == backend
+    log: list[tuple] = []
+    handles: list = []
+
+    def spawn(tag: int, delay: int, repeats: int, follow_delay: int,
+              cancel_pick, stop: bool) -> None:
+        def callback() -> None:
+            log.append((tag, repeats, engine.now))
+            if repeats:
+                spawn(tag, follow_delay, repeats - 1, follow_delay,
+                      cancel_pick, stop)
+            if cancel_pick is not None and handles:
+                handles[cancel_pick % len(handles)].cancel()
+            if stop and not repeats:
+                engine.stop()
+
+        handles.append(engine.schedule(delay, callback))
+
+    for tag, (delay, repeats, follow_delay, cancel_pick, stop_pick) in \
+            enumerate(program):
+        spawn(tag, delay, repeats, follow_delay, cancel_pick, stop_pick == 0)
+
+    bounded = engine.run_until(horizon)
+    mid = (engine.now, engine.events_executed, engine.pending_events,
+           engine.peek_next_time())
+    drained = engine.run()
+    return {
+        "log": log,
+        "executed": (bounded, drained),
+        "mid": mid,
+        "now": engine.now,
+        "counters": (engine.events_executed, engine.events_scheduled,
+                     engine.events_cancelled, engine.pending_events,
+                     engine.dispatch_batches),
+        "snapshot": engine.snapshot_state(),
+        "live": [(time, seq) for time, seq, _ in engine.live_entries()],
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=st.lists(_OP, min_size=1, max_size=12),
+       horizon=st.integers(0, 120))
+def test_backends_execute_programs_identically(program, horizon):
+    """Core A/B property: same program, same observable behaviour."""
+    reference = _execute_program(BACKENDS[0], program, horizon)
+    for backend in BACKENDS[1:]:
+        assert _execute_program(backend, program, horizon) == reference
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_simultaneous_events_fire_in_schedule_order(backend):
+    engine = SimulationEngine(backend=backend)
+    order: list[int] = []
+    for tag in range(8):
+        engine.schedule(100, lambda tag=tag: order.append(tag))
+    engine.run()
+    assert order == list(range(8))
+    # The whole timestamp drained as one batch: a single clock write.
+    assert engine.dispatch_batches == 1
+    assert engine.now == 100
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stop_sentinel_fires_before_same_time_events(backend):
+    """Negative-seq sentinels beat ordinary events at their timestamp."""
+    engine = SimulationEngine(backend=backend)
+    fired: list[str] = []
+    engine.schedule(10, lambda: fired.append("ev10"))
+    engine.schedule(5, lambda: fired.append("ev5"))
+    engine.schedule_stop_at(10)
+    engine.run()
+    assert fired == ["ev5"]
+    assert engine.now == 10
+    assert engine.pending_events == 1
+    engine.run()                       # resume past the spent sentinel
+    assert fired == ["ev5", "ev10"]
+    assert engine.pending_events == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_restore_event_out_of_order_keeps_fifo(backend):
+    """The snapshot-restore insert path must re-sort by original seq."""
+    engine = SimulationEngine(backend=backend)
+    engine.restore_state({"now": 50, "seq": 10, "events_executed": 0,
+                          "events_cancelled": 0, "pending": 3})
+    order: list[int] = []
+    # Restored in arrival order 7, 2, 5 — must fire as 2, 5, 7.
+    for seq in (7, 2, 5):
+        engine.restore_event(60, seq, lambda seq=seq: order.append(seq))
+    assert [(t, s) for t, s, _ in engine.live_entries()] == \
+        [(60, 2), (60, 5), (60, 7)]
+    engine.run()
+    assert order == [2, 5, 7]
+    assert engine.now == 60
+
+
+# ------------------------------------------------------- backend resolution
+
+def test_resolution_explicit_beats_env_beats_default(monkeypatch):
+    monkeypatch.delenv(ENV_QUEUE_BACKEND, raising=False)
+    assert resolve_backend_name(None) == DEFAULT_QUEUE_BACKEND
+    other = next(name for name in BACKENDS if name != DEFAULT_QUEUE_BACKEND)
+    monkeypatch.setenv(ENV_QUEUE_BACKEND, other)
+    assert resolve_backend_name(None) == other
+    assert resolve_backend_name(DEFAULT_QUEUE_BACKEND) == \
+        DEFAULT_QUEUE_BACKEND
+    # An empty value means "unset", so shell-style FOO= does not break.
+    monkeypatch.setenv(ENV_QUEUE_BACKEND, "")
+    assert resolve_backend_name(None) == DEFAULT_QUEUE_BACKEND
+
+
+def test_unknown_backend_fails_loudly(monkeypatch):
+    with pytest.raises(SimulationError, match="unknown queue backend"):
+        resolve_backend_name("btree")
+    monkeypatch.setenv(ENV_QUEUE_BACKEND, "nonsense")
+    with pytest.raises(SimulationError, match="unknown queue backend"):
+        SimulationEngine()
+
+
+def test_constructor_dispatches_to_backend_class(monkeypatch):
+    monkeypatch.delenv(ENV_QUEUE_BACKEND, raising=False)
+    assert type(SimulationEngine(backend="heap")) is HeapQueueEngine
+    assert type(SimulationEngine(backend="bucket")) is BucketQueueEngine
+    assert type(SimulationEngine()) is QUEUE_BACKENDS[DEFAULT_QUEUE_BACKEND]
+    # Direct backend instantiation bypasses resolution entirely.
+    assert type(HeapQueueEngine()) is HeapQueueEngine
+
+
+# ------------------------------------------------------- scenario-level A/B
+
+def _scenario_setup(seed: int):
+    system = PaperSystemConfig(trace_enabled=True)
+    clock = system.clock()
+    dmin = clock.us_to_cycles(1_444.0)
+    intervals = clip_to_dmin(
+        exponential_interarrivals(40, dmin, seed=seed), dmin
+    )
+
+    # Monitors accumulate history, so every run needs a fresh policy.
+    def policy():
+        return MonitoredInterposing(DeltaMinusMonitor.from_dmin(dmin))
+
+    return system, policy, intervals
+
+
+def _with_backend(backend: str, fn):
+    """Run ``fn`` with the engine default forced to ``backend``."""
+    previous = os.environ.get(ENV_QUEUE_BACKEND)
+    os.environ[ENV_QUEUE_BACKEND] = backend
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            del os.environ[ENV_QUEUE_BACKEND]
+        else:
+            os.environ[ENV_QUEUE_BACKEND] = previous
+
+
+def _scenario_artifacts(backend: str, seed: int, tmp_path) -> dict:
+    """Everything a scenario run produces, as comparable plain data."""
+    system, policy, intervals = _scenario_setup(seed)
+
+    def build_and_run():
+        result = run_irq_scenario(system, policy(), intervals)
+        assert result.hypervisor.engine.backend_name == backend
+        return result
+
+    result = _with_backend(backend, build_and_run)
+    csv_path = tmp_path / f"latencies-{backend}.csv"
+    write_series_csv(csv_path, result.latencies_us, column="latency_us")
+    warm = _with_backend(
+        backend, lambda: build_warm_world(system, policy(), intervals))
+
+    def midrun_digest():
+        hv, timer = system.build(policy(), intervals)
+        hv.start()
+        timer.arm_next()
+        hv.run_until_irq_count(12)
+        return settle(hv, {timer.name: timer}).digest()
+
+    return {
+        "records": list(result.records),
+        "latencies_us": list(result.latencies_us),
+        "summary": dataclasses.asdict(result.summary),
+        "mode_counts": dict(result.mode_counts),
+        "context_switches": dict(result.context_switch_counts),
+        "trace_digest": result.hypervisor.trace.digest(),
+        "csv_bytes": csv_path.read_bytes(),
+        "warm_snapshot_digest": warm.digest(),
+        "midrun_snapshot_digest": _with_backend(backend, midrun_digest),
+        "engine": (result.hypervisor.engine.now,
+                   result.hypervisor.engine.events_executed,
+                   result.hypervisor.engine.events_scheduled,
+                   result.hypervisor.engine.events_cancelled),
+    }
+
+
+@pytest.mark.parametrize("seed", [1, 23])
+def test_scenario_artifacts_identical_across_backends(tmp_path, seed):
+    """Records, stats, CSV bytes, trace and snapshot digests all match."""
+    reference = _scenario_artifacts(BACKENDS[0], seed, tmp_path)
+    for backend in BACKENDS[1:]:
+        assert _scenario_artifacts(backend, seed, tmp_path) == reference
+
+
+def test_fork_across_backends_is_byte_identical():
+    """A world captured under one backend restores under the other.
+
+    Snapshot state is backend-independent, so a mid-run capture on
+    backend A forked onto backend B must finish exactly like the
+    straight-line run.
+    """
+    system, policy, intervals = _scenario_setup(seed=7)
+    straight = _with_backend(
+        BACKENDS[0], lambda: run_irq_scenario(system, policy(), intervals))
+
+    def capture():
+        hv, timer = system.build(policy(), intervals)
+        hv.start()
+        timer.arm_next()
+        hv.run_until_irq_count(15)
+        return settle(hv, {timer.name: timer})
+
+    snapshot = _with_backend(BACKENDS[0], capture)
+    for backend in BACKENDS[1:]:
+        forked = _with_backend(
+            backend, lambda: run_irq_scenario_from(snapshot, system))
+        assert forked.hypervisor.engine.backend_name == backend
+        assert list(forked.records) == list(straight.records)
+        assert list(forked.latencies_us) == list(straight.latencies_us)
+        assert forked.summary == straight.summary
+        assert forked.hypervisor.trace.digest() == \
+            straight.hypervisor.trace.digest()
