@@ -6,7 +6,10 @@ appends one record per campaign run; this tool compares the newest
 record against the previous one and flags per-experiment wall-time
 regressions beyond a threshold (default 20 %), plus drops in the
 engine microbenchmark's ``engine.events_per_second`` beyond the same
-threshold (when both runs recorded it on the same queue backend).
+threshold (when both runs recorded it on the same queue backend), and
+drops in the idle-skip A/B record (``engine_idle_ab``: skip-leg
+events/s and skip/tick speedup) — skipped with a note when either run
+predates that field.
 
 Usage::
 
@@ -120,6 +123,47 @@ def compare_engine(previous: dict, latest: dict, *,
     return [line], regressed
 
 
+def compare_idle_ab(previous: dict, latest: dict, *,
+                    threshold: float) -> "tuple[list[str], bool]":
+    """Diff the idle-skip A/B microbenchmark; returns (lines, regressed).
+
+    Flags a drop in the skip leg's events/s or in the skip/tick
+    speedup beyond ``threshold``.  Skipped with a note when either run
+    predates the ``engine_idle_ab`` field.
+    """
+    old_ab = previous.get("engine_idle_ab") or {}
+    new_ab = latest.get("engine_idle_ab") or {}
+    if not old_ab or not new_ab:
+        return ["  idle-skip A/B: not recorded in both runs "
+                "(older history predates engine_idle_ab), skipping."], False
+    lines: "list[str]" = []
+    regressed = False
+    old_eps = (old_ab.get("events_per_second") or {}).get("skip")
+    new_eps = (new_ab.get("events_per_second") or {}).get("skip")
+    if old_eps and new_eps:
+        delta = (float(new_eps) - float(old_eps)) / float(old_eps)
+        line = (f"  idle-skip  {float(old_eps):,.0f} -> "
+                f"{float(new_eps):,.0f} events/s  {100 * delta:+.1f}%")
+        if delta < -threshold:
+            line += (f"  << throughput regression "
+                     f"(> {100 * threshold:.0f}% drop)")
+            regressed = True
+        lines.append(line)
+    old_speedup = old_ab.get("speedup")
+    new_speedup = new_ab.get("speedup")
+    if old_speedup and new_speedup:
+        delta = ((float(new_speedup) - float(old_speedup))
+                 / float(old_speedup))
+        line = (f"  idle-skip speedup  {float(old_speedup):.1f}x -> "
+                f"{float(new_speedup):.1f}x  {100 * delta:+.1f}%")
+        if delta < -threshold:
+            line += (f"  << speedup regression "
+                     f"(> {100 * threshold:.0f}% drop)")
+            regressed = True
+        lines.append(line)
+    return lines, regressed
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         description="Compare the last two runs in a bench-json history.")
@@ -160,7 +204,9 @@ def main(argv: "list[str] | None" = None) -> int:
                                  min_seconds=args.min_seconds)
     engine_lines, engine_regressed = compare_engine(
         previous, latest, threshold=args.threshold)
-    for line in lines + engine_lines:
+    idle_lines, idle_regressed = compare_idle_ab(
+        previous, latest, threshold=args.threshold)
+    for line in lines + engine_lines + idle_lines:
         print(line)
     failed = False
     if regressions:
@@ -169,6 +215,10 @@ def main(argv: "list[str] | None" = None) -> int:
         failed = True
     if engine_regressed:
         print(f"WARNING: engine throughput dropped > "
+              f"{100 * args.threshold:.0f}%")
+        failed = True
+    if idle_regressed:
+        print(f"WARNING: idle-skip A/B regressed > "
               f"{100 * args.threshold:.0f}%")
         failed = True
     if failed:

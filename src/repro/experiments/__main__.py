@@ -59,6 +59,7 @@ from repro.experiments.runner import (
     write_bench_json,
 )
 from repro.experiments.scale import resolve_scale
+from repro.sim.engine import ENV_IDLE_SKIP
 from repro.sim.queue import (
     DEFAULT_QUEUE_BACKEND,
     ENV_QUEUE_BACKEND,
@@ -269,11 +270,20 @@ def main(argv: "list[str] | None" = None) -> int:
                              f"{DEFAULT_QUEUE_BACKEND!r}); results are "
                              "byte-identical across backends, only speed "
                              "differs")
+    parser.add_argument("--no-idle-skip", action="store_true",
+                        help="disable the idle-skip engine (analytic "
+                             "fast-forward across quiescent TDMA gaps) and "
+                             "execute every boundary event tick by tick; "
+                             "results are byte-identical either way, only "
+                             "speed differs (default: $REPRO_IDLE_SKIP or "
+                             "enabled)")
     args = parser.parse_args(argv)
 
     if args.queue_backend is not None:
         # Via the environment so campaign worker processes inherit it.
         os.environ[ENV_QUEUE_BACKEND] = args.queue_backend
+    if args.no_idle_skip:
+        os.environ[ENV_IDLE_SKIP] = "0"
 
     names = ALIASES.get(args.experiment, (args.experiment,))
     scale = resolve_scale(quick=args.quick, smoke=args.smoke)
@@ -328,25 +338,31 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.sim.benchmark import (
             measure_backend_ab,
             measure_engine_throughput,
+            measure_idle_ab,
         )
 
         engine = measure_engine_throughput()
         engine_ab = measure_backend_ab()
+        engine_idle_ab = measure_idle_ab()
         analysis = measure_analysis_speedup()
         record = write_bench_json(
             args.bench_json,
             scale_name=scale.name, jobs=jobs,
             experiment_seconds=experiment_seconds, engine=engine,
             engine_ab=engine_ab,
+            engine_idle_ab=engine_idle_ab,
             analysis=analysis,
             cache=cache.stats if cache is not None else None,
             telemetry=telemetry,
         )
         ab = record["engine_ab"]
+        idle = record["engine_idle_ab"]
         print(f"[bench] engine {record['engine']['events_per_second']:,.0f} "
               f"events/s (backend={record['engine']['backend']}); "
               f"A/B winner {ab['winner']} "
               f"{ab['improvement_vs_legacy']:+.1%} vs legacy; "
+              f"idle-skip {idle['speedup']:.1f}x "
+              f"({idle['skipped_events']:,} events elided); "
               f"analysis memoization "
               f"{record['analysis']['speedup']:.1f}x; "
               f"history appended to {args.bench_json}",

@@ -639,6 +639,7 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
                      experiment_seconds: "Mapping[str, float]",
                      engine: "Any | None" = None,
                      engine_ab: "Any | None" = None,
+                     engine_idle_ab: "Any | None" = None,
                      analysis: "Any | None" = None,
                      cache: "Any | None" = None,
                      telemetry: "CampaignTelemetry | None" = None) -> dict:
@@ -651,6 +652,10 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
     (``engine_ab``: a
     :class:`~repro.sim.benchmark.BackendABResult` — winner,
     improvement over the frozen legacy loop, per-contender events/s),
+    the idle-skip race on an idle-dominated scenario
+    (``engine_idle_ab``: an
+    :class:`~repro.sim.benchmark.IdleABResult` — skip vs tick events/s,
+    speedup, spans/events/cycles elided),
     the analysis memoization A/B (``analysis``: an
     :class:`~repro.analysis.benchmark.AnalysisBenchmarkResult`) and
     the campaign's cache statistics (``cache``: a
@@ -699,6 +704,17 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
             "events_per_second": {
                 name: round(result.events_per_second, 1)
                 for name, result in sorted(engine_ab.results.items())
+            },
+        }
+    if engine_idle_ab is not None:
+        record["engine_idle_ab"] = {
+            "speedup": round(engine_idle_ab.speedup, 2),
+            "skip_spans": engine_idle_ab.skip_spans,
+            "skipped_events": engine_idle_ab.skipped_events,
+            "skipped_cycles": engine_idle_ab.skipped_cycles,
+            "events_per_second": {
+                name: round(result.events_per_second, 1)
+                for name, result in sorted(engine_idle_ab.results.items())
             },
         }
     if analysis is not None:

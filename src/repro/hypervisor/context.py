@@ -43,6 +43,12 @@ class ContextSwitchModel:
         self._counts[reason] += 1
         return self._cost_cycles
 
+    def record_batch(self, reason: SwitchReason, count: int) -> None:
+        """Record ``count`` switches at once (idle-skip bulk accounting)."""
+        if count < 0:
+            raise ValueError(f"switch count must be >= 0, got {count}")
+        self._counts[reason] += count
+
     def count(self, reason: SwitchReason) -> int:
         return self._counts[reason]
 

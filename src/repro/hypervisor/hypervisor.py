@@ -344,6 +344,21 @@ class Hypervisor:
         # Handle of the pending TDMA boundary event, kept so a world
         # snapshot can claim and re-bind it (see repro.sim.snapshot).
         self._boundary_handle: Optional[EventHandle] = None
+        # Idle-skip (analytic fast-forward across quiescent TDMA gaps).
+        # The callback behind the "tdma-boundary" event is chosen once:
+        # with skip enabled it is the skip-aware entry, which falls back
+        # to the ordinary raise when the world is not quiescent.  The
+        # callback identity is unobservable — snapshots claim only the
+        # event's (time, seq) and the label is the same — so traces,
+        # digests and CSVs stay byte-identical either way.
+        self._idle_skip = self.engine.idle_skip_enabled
+        self._boundary_callback: Callable[[], None] = (
+            self._boundary_dispatch if self._idle_skip
+            else self._raise_slot_line
+        )
+        self._min_slot_cycles = min(
+            slot.length_cycles for slot in self.scheduler.slots
+        )
 
         self.intc.set_dispatcher(self._irq_entry)
 
@@ -870,7 +885,208 @@ class Hypervisor:
     def _schedule_boundary(self, boundary: int) -> None:
         at = max(boundary, self.engine.now)
         self._boundary_handle = self.engine.schedule_at(
-            at, self._raise_slot_line, label="tdma-boundary")
+            at, self._boundary_callback, label="tdma-boundary")
+
+    # ------------------------------------------------------------------
+    # Idle-skip engine (analytic fast-forward across quiescent gaps)
+    # ------------------------------------------------------------------
+    #
+    # In an idle-dominated stretch the only scheduled work is the TDMA
+    # boundary chain itself: raise slot line -> IRQ entry (mask, ack,
+    # preempt the idle loop) -> slot switch -> switched (charge C_ctx,
+    # re-arm the next boundary, dispatch idle) -> unmask.  Every step is
+    # deterministic given the slot table, so instead of dispatching two
+    # engine events per boundary the skip-aware entry below computes the
+    # chain's *observable residue* — CPU accounting, scheduler position,
+    # per-partition slot counts, context-switch/IRQ counters, trace
+    # records — analytically for as many boundaries as fit before the
+    # next semantic event, then moves the clock once.
+    #
+    # The contract is byte-identity: every trace record, latency column,
+    # snapshot digest and CSV export is identical to the tick-by-tick
+    # run (pinned by tests/test_idle_skip.py).  Whenever any part of the
+    # world might make the chain non-deterministic — pending guest work,
+    # queued IRQ events, a live interrupt line, an open interpose
+    # window, an IPC router — the entry falls back to the ordinary
+    # tick-by-tick raise.
+
+    def _boundary_dispatch(self) -> None:
+        """Skip-aware ``tdma-boundary`` callback (idle-skip enabled)."""
+        allowed, bound = self.engine.skip_window()
+        if allowed and self._skip_quiescent() and self._fast_forward_gap(bound):
+            return
+        self._raise_slot_line()
+
+    def _skip_quiescent(self) -> bool:
+        """Is the boundary chain's outcome determined by the slot table?
+
+        True only when nothing but the boundary chain itself can run:
+        the CPU executes an unbounded anonymous loop (idle or background
+        — no completion event, no owner to reconcile), no hypervisor
+        chain or interpose window is in flight, the interrupt controller
+        cannot deliver anything besides the (enabled) slot line, and no
+        partition has queued IRQ events or ready guest work.  Future
+        device raises come from scheduled engine events, which the skip
+        horizon (``peek_next_time``) bounds separately.
+        """
+        execution = self.cpu.current
+        if (execution is None or execution.remaining is not None
+                or execution.on_complete is not None
+                or execution.owner is not None):
+            return False
+        if self._window is not None or self._deferred_slot_switch:
+            return False
+        if self._ipc_router is not None:
+            return False
+        intc = self.intc
+        if intc.masked or intc.can_deliver_before():
+            return False
+        if not intc.line_enabled(self._slot_line):
+            return False
+        for partition in self._partitions.values():
+            if len(partition.irq_queue):
+                return False
+            guest = partition.guest
+            if guest is not None and guest.pick() is not None:
+                return False
+        return True
+
+    def _fast_forward_gap(self, bound: Optional[int]) -> bool:
+        """Fast-forward across quiescent boundaries; True if any elided.
+
+        Called with the clock on a boundary whose ``tdma-boundary``
+        event has just been popped.  Walks the chain analytically until
+        the next pending engine event (exclusive — a co-timestamped
+        event would dispatch before the elided continuation), the
+        ``run_until`` bound (inclusive, like the real loop), or — with
+        an otherwise empty queue — one TDMA cycle per invocation so an
+        unbounded ``run()`` stays live exactly like the tick-by-tick
+        chain it replaces.
+        """
+        engine = self.engine
+        scheduler = self.scheduler
+        cpu = self.cpu
+        trace = self.trace
+        c_ctx = self.context_switches.cost_cycles
+        if c_ctx >= self._min_slot_cycles:
+            # Degenerate cost model: the context switch swallows whole
+            # slots, so boundaries arrive late and the scheduler's
+            # catch-up path runs — not the on-grid chain modelled here.
+            return False
+        t_b = engine.now
+        horizon = engine.peek_next_time()
+        limit = bound
+        if horizon is not None:
+            strict = horizon - 1
+            limit = strict if limit is None else min(limit, strict)
+        if limit is None:
+            limit = t_b + scheduler.cycle_length
+        if t_b + c_ctx > limit:
+            return False
+
+        intc = self.intc
+        line = self._slot_line
+        stats = self.stats
+        switches = self.context_switches
+        partitions = self._partitions
+        slow = trace.enabled or cpu.segments is not None
+        n_slots = len(scheduler.slots)
+        cycle = scheduler.cycle_length
+        boundaries = 0
+        # The preempt of the first elided IRQ entry: charge the running
+        # idle/background stint up to this boundary.
+        cpu.skip_preempt(t_b)
+        while True:
+            if not slow:
+                # Closed-form tier: with tracing and segment recording
+                # off a whole TDMA cycle of boundaries reduces to table
+                # aggregates.  m is chosen so the boundary we land on
+                # can itself still be elided (t_b + c_ctx <= limit) —
+                # the per-slot step below then owns the span exit and
+                # the live final stint.
+                m = (limit - c_ctx - t_b) // cycle
+                if m >= 1:
+                    consumed, entered = self._skip_cycle_totals(c_ctx)
+                    cpu.skip_account(
+                        {cat: m * cycles for cat, cycles in consumed.items()},
+                        m * n_slots,
+                    )
+                    for name, count in entered.items():
+                        partitions[name].slots_entered += m * count
+                    switches.record_batch(SwitchReason.SLOT, m * n_slots)
+                    stats.slot_switches += m * n_slots
+                    intc.account_slot_deliveries(line, count=m * n_slots)
+                    scheduler.jump_cycles(m)
+                    boundaries += m * n_slots
+                    t_b += m * cycle
+            # Per-slot tier: one boundary's observable residue, emitted
+            # with explicit timestamps (trace may be enabled here).
+            previous = scheduler.current_owner
+            intc.account_slot_deliveries(line, time=t_b)
+            slot = scheduler.advance()
+            stats.slot_switches += 1
+            trace.emit(t_b, TraceKind.SLOT_SWITCH,
+                       previous=previous, next=slot.partition)
+            switches.switch(SwitchReason.SLOT)
+            trace.emit(t_b, TraceKind.CONTEXT_SWITCH,
+                       reason=SwitchReason.SLOT.value)
+            t_s = t_b + c_ctx
+            cpu.skip_overhead(c_ctx, t_s)
+            partition = partitions[slot.partition]
+            partition.slots_entered += 1
+            boundaries += 1
+            t_next = scheduler.next_boundary()
+            if partition.busy_background:
+                category = f"task:{partition.name}"
+                label = f"background:{partition.name}"
+            else:
+                trace.emit(t_s, TraceKind.IDLE, partition=partition.name)
+                category = f"idle:{partition.name}"
+                label = f"idle:{partition.name}"
+            if t_next + c_ctx > limit:
+                break
+            cpu.skip_stint(category, label, t_s, t_next)
+            t_b = t_next
+
+        # Span exit: the last elided "switched" leaves a live stint on
+        # the CPU (uncharged, exactly as the tick-by-tick run would) and
+        # a real boundary event for the next gap entry.  A span of k
+        # boundaries elides 2k - 1 events: k "switched" continuations
+        # plus k - 1 re-raised boundaries (the span's first boundary was
+        # the real event that got us here).  fast_forward() advances the
+        # seq counter by that amount *before* the re-arm, so the next
+        # boundary keeps its tick-by-tick (time, seq) identity.
+        engine.fast_forward(t_s, 2 * boundaries - 1)
+        self._schedule_boundary(t_next)
+        cpu.assign(Execution(label=label, remaining=None, category=category))
+        return True
+
+    def _skip_cycle_totals(
+            self, c_ctx: int) -> tuple[dict[str, int], dict[str, int]]:
+        """Aggregate residue of one full TDMA cycle of elided boundaries.
+
+        Returns ``(consumed, entered)``: cycles charged per CPU category
+        (each slot's stint plus its ``C_ctx`` of hypervisor overhead)
+        and slots entered per partition.  Recomputed per gap — it is a
+        handful of dict updates, and ``busy_background`` is a mutable
+        public attribute that must be honoured live.
+        """
+        consumed: dict[str, int] = {}
+        entered: dict[str, int] = {}
+        overhead = 0
+        for slot in self.scheduler.slots:
+            partition = self._partitions[slot.partition]
+            if partition.busy_background:
+                category = f"task:{partition.name}"
+            else:
+                category = f"idle:{partition.name}"
+            consumed[category] = (
+                consumed.get(category, 0) + slot.length_cycles - c_ctx
+            )
+            entered[partition.name] = entered.get(partition.name, 0) + 1
+            overhead += c_ctx
+        consumed["hypervisor"] = consumed.get("hypervisor", 0) + overhead
+        return consumed, entered
 
     # ------------------------------------------------------------------
     # Partition dispatch (the partition-context dispatcher of Fig. 2)
@@ -1286,7 +1502,7 @@ class Hypervisor:
             )
         time, seq = state["boundary"]
         hv._boundary_handle = hv.engine.restore_event(
-            time, seq, hv._raise_slot_line, label="tdma-boundary"
+            time, seq, hv._boundary_callback, label="tdma-boundary"
         )
         hv.cpu.restore_state(state["cpu"], hv._resolve_execution_owner)
         hv._started = True

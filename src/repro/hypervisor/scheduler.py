@@ -154,6 +154,23 @@ class TdmaScheduler:
                 self._slots_skipped += 1
         return self.current_slot
 
+    def jump_cycles(self, cycles: int) -> None:
+        """Advance through ``cycles`` whole TDMA cycles of on-grid boundaries.
+
+        Used by the idle-skip fast-forward: a full cycle of boundary
+        deliveries — each exactly on its nominal grid point — returns
+        the table to the same index, so ``cycles`` of them collapse to
+        one nominal-start shift and an advance-counter bump, exactly
+        equal to ``len(slots) * cycles`` individual :meth:`advance`
+        calls (no slot is ever late, so none are skipped).
+        """
+        if not self._started:
+            raise RuntimeError("scheduler not started")
+        if cycles < 0:
+            raise ValueError(f"cycle count must be >= 0, got {cycles}")
+        self._advances += cycles * len(self._slots)
+        self._nominal_start += cycles * self._cycle_length
+
     @property
     def slots_skipped(self) -> int:
         """Slots skipped entirely due to late boundary delivery."""

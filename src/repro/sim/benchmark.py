@@ -24,17 +24,23 @@ heap loop (:class:`_LegacyHeapEngine`), interleaving the contenders
 round-robin in one process so host noise hits them all alike; its
 result names the winning backend and is what ``--bench-json`` records
 under ``engine_ab``.
+
+:func:`measure_idle_ab` races the idle-skip engine (analytic
+fast-forward across quiescent TDMA gaps, see
+``Hypervisor._boundary_dispatch``) against the tick-by-tick chain on an
+idle-dominated full-system scenario; recorded under ``engine_idle_ab``.
 """
 
 from __future__ import annotations
 
 import gc
+import os
 import time
 from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 from typing import Callable, Optional
 
-from repro.sim.engine import COMPACTION_FLOOR, SimulationEngine
+from repro.sim.engine import COMPACTION_FLOOR, ENV_IDLE_SKIP, SimulationEngine
 from repro.sim.events import EventHandle
 from repro.sim.queue import QUEUE_BACKENDS
 
@@ -298,3 +304,125 @@ def measure_backend_ab(events: int = 200_000,
     winner = max(QUEUE_BACKENDS,
                  key=lambda name: best[name].events_per_second)
     return BackendABResult(results=best, baseline="legacy", winner=winner)
+
+
+@dataclass(frozen=True)
+class IdleABResult:
+    """Outcome of the idle-skip vs tick-by-tick A/B race.
+
+    ``results`` holds the best-of-repeats measurement for the ``skip``
+    and ``tick`` contenders.  Both legs simulate the *identical*
+    scenario (same arrivals, same final world — the byte-identity
+    contract), so ``events_executed`` is the same simulated work and
+    the events/s ratio is a pure wall-clock speedup.
+    """
+
+    results: dict[str, EngineBenchmarkResult]
+    skip_spans: int
+    skipped_events: int
+    skipped_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock factor of the skip engine over tick-by-tick."""
+        tick = self.results["tick"].events_per_second
+        if tick <= 0:
+            return 0.0
+        return self.results["skip"].events_per_second / tick
+
+
+def _run_idle_scenario(idle_skip: bool, arrivals: int,
+                       gap_tdma_cycles: int) -> tuple[object, float]:
+    """One leg of the idle A/B: a sparse-arrival full-system scenario.
+
+    The workload is the Section 6.1 evaluation system with IRQ
+    interarrivals of ``gap_tdma_cycles`` TDMA cycles (~hundreds of
+    quiescent slot boundaries per arrival) — the regime where the
+    boundary chain, not IRQ handling, dominates the event count.
+    Returns the finished hypervisor and the elapsed wall-clock seconds.
+    """
+    # Function-level import: experiments.common sits above sim in the
+    # layering; importing it at module load would be circular.
+    from repro.core.policy import NeverInterpose
+    from repro.experiments.common import PaperSystemConfig, run_irq_scenario
+
+    previous = os.environ.get(ENV_IDLE_SKIP)
+    os.environ[ENV_IDLE_SKIP] = "1" if idle_skip else "0"
+    try:
+        system = PaperSystemConfig()
+        clock = system.clock()
+        cycle = clock.us_to_cycles(system.tdma_cycle_us)
+        # Deterministic phase jitter so arrivals land all over the slot
+        # grid, not on one resonant offset.
+        jitter = (0, 321_001, 777_017, 123_457, 555_111, 901_247, 432_101)
+        intervals = [
+            gap_tdma_cycles * cycle + jitter[i % len(jitter)]
+            for i in range(arrivals)
+        ]
+        gc.collect()
+        started = time.perf_counter()
+        result = run_irq_scenario(system, NeverInterpose(), intervals)
+        elapsed = time.perf_counter() - started
+        return result.hypervisor, elapsed
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_IDLE_SKIP, None)
+        else:
+            os.environ[ENV_IDLE_SKIP] = previous
+
+
+def measure_idle_ab(arrivals: int = 60,
+                    gap_tdma_cycles: int = 40,
+                    repeats: int = 3) -> IdleABResult:
+    """Race the idle-skip engine against tick-by-tick execution.
+
+    Both legs run the same idle-dominated scenario, interleaved
+    round-robin within each repeat (same rationale as
+    :func:`measure_backend_ab`); best-of-``repeats`` per leg.  The legs
+    must execute the same number of simulated events — idle-skip
+    counts elided events as executed — so a mismatch means the
+    byte-identity contract broke and is raised loudly rather than
+    reported as a speedup.
+    """
+    if arrivals <= 0:
+        raise ValueError(f"arrivals must be positive, got {arrivals}")
+    if gap_tdma_cycles <= 0:
+        raise ValueError(
+            f"gap_tdma_cycles must be positive, got {gap_tdma_cycles}")
+    best: dict[str, EngineBenchmarkResult] = {}
+    events_by_leg: dict[str, int] = {}
+    skip_stats = (0, 0, 0)
+    for _ in range(max(1, repeats)):
+        for name, idle_skip in (("skip", True), ("tick", False)):
+            hv, elapsed = _run_idle_scenario(idle_skip, arrivals,
+                                             gap_tdma_cycles)
+            executed = hv.engine.events_executed
+            events_by_leg.setdefault(name, executed)
+            if events_by_leg[name] != executed:
+                raise RuntimeError(
+                    f"idle A/B {name} leg executed {executed} events, "
+                    f"previous repeat executed {events_by_leg[name]}"
+                )
+            if idle_skip:
+                skip_stats = (hv.engine.skip_spans,
+                              hv.engine.skipped_events,
+                              hv.engine.skipped_cycles)
+            result = EngineBenchmarkResult(
+                events_executed=executed,
+                cancelled_events=hv.engine.events_cancelled,
+                elapsed_seconds=elapsed,
+            )
+            current = best.get(name)
+            if (current is None
+                    or result.events_per_second > current.events_per_second):
+                best[name] = result
+    if events_by_leg["skip"] != events_by_leg["tick"]:
+        raise RuntimeError(
+            f"idle A/B legs diverged: skip executed {events_by_leg['skip']} "
+            f"events, tick executed {events_by_leg['tick']} (byte-identity "
+            "contract broken)"
+        )
+    return IdleABResult(results=best,
+                        skip_spans=skip_stats[0],
+                        skipped_events=skip_stats[1],
+                        skipped_cycles=skip_stats[2])

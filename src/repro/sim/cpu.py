@@ -184,6 +184,63 @@ class Cpu:
                 CpuSegment(now - cycles, now, category, category)
             )
 
+    # ------------------------------------------------------------------
+    # Idle-skip support (see Hypervisor._boundary_dispatch)
+    #
+    # The fast-forward reproduces each elided preempt/overhead/stint
+    # with an *explicit* clock — the engine clock only moves once, at
+    # the end of the span — so these mirror preempt()/charge_overhead()
+    # /_charge() exactly, timestamp by timestamp.
+    # ------------------------------------------------------------------
+
+    def skip_preempt(self, now: int) -> Optional[Execution]:
+        """:meth:`preempt` as it would have run with the clock at ``now``.
+
+        Only valid for an unbounded execution (no completion event to
+        cancel) — the idle-skip quiescence predicate guarantees that.
+        """
+        if self._current is None:
+            return None
+        execution = self._current
+        assert self._completion is None, "skip_preempt on a bounded execution"
+        elapsed = now - self._started_at
+        if elapsed:
+            execution.executed += elapsed
+            self._bump(execution.category, elapsed)
+            if self.segments is not None:
+                self.segments.append(CpuSegment(
+                    self._started_at, now, execution.category, execution.label
+                ))
+        self._current = None
+        self._preemptions += 1
+        return execution
+
+    def skip_overhead(self, cycles: int, end: int,
+                      category: str = "hypervisor") -> None:
+        """:meth:`charge_overhead` as of clock ``end`` (CPU must be free)."""
+        if self._current is not None:
+            raise CpuBusyError("cannot charge overhead while an execution is running")
+        self._bump(category, cycles)
+        if self.segments is not None and cycles > 0:
+            self.segments.append(CpuSegment(end - cycles, end, category, category))
+
+    def skip_stint(self, category: str, label: str, start: int, end: int) -> None:
+        """One whole elided execution stint: assign at ``start``, run to
+        ``end``, preempt — collapsed into its accounting residue."""
+        elapsed = end - start
+        if elapsed:
+            self._bump(category, elapsed)
+            if self.segments is not None:
+                self.segments.append(CpuSegment(start, end, category, label))
+        self._preemptions += 1
+
+    def skip_account(self, consumed: "dict[str, int]", preemptions: int) -> None:
+        """Bulk residue of many elided stints (closed-form tier; only
+        used with segment recording off)."""
+        for category, cycles in consumed.items():
+            self._bump(category, cycles)
+        self._preemptions += preemptions
+
     def consumed(self, category: str) -> int:
         """Total cycles charged to an accounting category."""
         return self._consumed_by_category.get(category, 0)

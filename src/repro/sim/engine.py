@@ -32,6 +32,7 @@ measured-faster default (see ``repro.sim.queue.DEFAULT_QUEUE_BACKEND``).
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Optional
 
 from repro.sim.events import EventHandle
@@ -40,6 +41,46 @@ from repro.sim.events import EventHandle
 #: compaction is considered.  Below this floor the dead entries are
 #: cheaper to skip during dispatch than to filter out.
 COMPACTION_FLOOR = 64
+
+#: Idle-skip (analytic fast-forward across quiescent gaps) is on by
+#: default; the tick-by-tick path stays selectable for A/B pinning.
+DEFAULT_IDLE_SKIP = True
+
+#: Environment variable consulted when no explicit ``idle_skip`` is
+#: given.  Campaign workers inherit the parent process environment, so
+#: ``--no-idle-skip`` (which sets this) propagates to every worker.
+ENV_IDLE_SKIP = "REPRO_IDLE_SKIP"
+
+#: Accepted spellings for :data:`ENV_IDLE_SKIP`.
+_IDLE_SKIP_VALUES = {
+    "1": True, "true": True, "on": True, "yes": True,
+    "0": False, "false": False, "off": False, "no": False,
+}
+
+#: Spans recorded for trace export; a cap so a pathological run cannot
+#: grow the diagnostic log without bound.
+SKIP_SPAN_LOG_CAP = 4096
+
+
+def resolve_idle_skip(explicit: Optional[bool] = None) -> bool:
+    """Resolve the idle-skip toggle: explicit argument > environment > default.
+
+    An empty environment value means "unset" (shell-style ``FOO=`` does
+    not break); any other unrecognized value fails loudly, listing the
+    accepted spellings.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get(ENV_IDLE_SKIP)
+    if not raw:
+        return DEFAULT_IDLE_SKIP
+    value = _IDLE_SKIP_VALUES.get(raw.strip().lower())
+    if value is None:
+        valid = ", ".join(sorted(_IDLE_SKIP_VALUES))
+        raise SimulationError(
+            f"invalid {ENV_IDLE_SKIP} value {raw!r} (valid values: {valid})"
+        )
+    return value
 
 
 class SimulationError(RuntimeError):
@@ -69,9 +110,13 @@ class SimulationEngine:
 
     __slots__ = ("_now", "_seq", "_events_executed", "_running",
                  "_stop_requested", "_pending", "_cancelled_count",
-                 "_compactions", "_sentinel_seq", "_dispatch_batches")
+                 "_compactions", "_sentinel_seq", "_dispatch_batches",
+                 "_idle_skip", "_skip_allowed", "_in_batch", "_run_bound",
+                 "_skip_spans", "_skipped_events", "_skipped_cycles",
+                 "_skip_span_log")
 
-    def __new__(cls, backend: Optional[str] = None):
+    def __new__(cls, backend: Optional[str] = None,
+                idle_skip: Optional[bool] = None):
         if cls is SimulationEngine:
             # Lazy import: queue.py subclasses this module's base class.
             from repro.sim.queue import resolve_backend_class
@@ -79,7 +124,8 @@ class SimulationEngine:
             cls = resolve_backend_class(backend)
         return object.__new__(cls)
 
-    def __init__(self, backend: Optional[str] = None):
+    def __init__(self, backend: Optional[str] = None,
+                 idle_skip: Optional[bool] = None):
         # ``backend`` was consumed by __new__'s dispatch; accepted (and
         # ignored) here so ``SimulationEngine(backend=...)`` initializes.
         self._now: int = 0
@@ -98,6 +144,24 @@ class SimulationEngine:
         # numbers so they never consume — or perturb — the FIFO
         # tie-break sequence of ordinary events.
         self._sentinel_seq: int = -1
+        # Idle-skip protocol state.  ``_skip_allowed`` is raised only
+        # inside an unbounded run()/run_until() dispatch loop (never in
+        # step() or a max_events-bounded run, where the caller observes
+        # individual events); ``_run_bound`` is the run_until horizon.
+        # ``_in_batch`` is set by the bucket backend while it drains a
+        # multi-entry bucket, whose co-timestamped tail is invisible to
+        # ``_next_pending`` — a skip decision must not trust the horizon
+        # then.  The skip counters feed telemetry only; they are not
+        # part of snapshot digests (spans are a diagnostic, like
+        # ``compactions``).
+        self._idle_skip: bool = resolve_idle_skip(idle_skip)
+        self._skip_allowed = False
+        self._in_batch = False
+        self._run_bound: Optional[int] = None
+        self._skip_spans: int = 0
+        self._skipped_events: int = 0
+        self._skipped_cycles: int = 0
+        self._skip_span_log: list[tuple[int, int, int]] = []
 
     # ------------------------------------------------------------------
     # Counters and introspection
@@ -161,6 +225,84 @@ class SimulationEngine:
         may still contain lazily-cancelled entries awaiting removal.
         """
         return self._pending
+
+    # ------------------------------------------------------------------
+    # Idle-skip protocol (analytic fast-forward across quiescent gaps)
+    # ------------------------------------------------------------------
+    #
+    # The engine does not decide *when* to skip — quiescence is domain
+    # knowledge, owned by the hypervisor — it only provides the window
+    # in which a skip is sound and the accounting to make the skipped
+    # execution byte-identical to the tick-by-tick one:
+    #
+    # * ``skip_window()`` tells the in-flight callback whether it may
+    #   advance the clock itself (only from an unbounded run()/
+    #   run_until() loop, never mid-batch) and up to what bound;
+    # * ``peek_next_time()`` is the skip horizon: no analytic span may
+    #   reach the next pending queue event;
+    # * ``fast_forward()`` applies the aggregate effect of the elided
+    #   events — clock, seq counter and executed count move exactly as
+    #   if each event had been scheduled and dispatched.
+
+    @property
+    def idle_skip_enabled(self) -> bool:
+        """Whether callbacks may fast-forward across quiescent gaps."""
+        return self._idle_skip
+
+    @property
+    def skip_spans(self) -> int:
+        """Number of quiescent gaps crossed analytically."""
+        return self._skip_spans
+
+    @property
+    def skipped_events(self) -> int:
+        """Events elided (accounted analytically instead of dispatched)."""
+        return self._skipped_events
+
+    @property
+    def skipped_cycles(self) -> int:
+        """Simulated cycles crossed by fast-forwards."""
+        return self._skipped_cycles
+
+    @property
+    def skip_span_log(self) -> list[tuple[int, int, int]]:
+        """Recorded ``(start, end, events_elided)`` spans (capped)."""
+        return list(self._skip_span_log)
+
+    def skip_window(self) -> tuple[bool, Optional[int]]:
+        """``(allowed, bound)`` for a skip decision at the current dispatch.
+
+        ``allowed`` is True only while an unbounded ``run()`` or a
+        ``run_until()`` loop is dispatching a fully drained timestamp;
+        ``bound`` is the ``run_until`` horizon (None for ``run()``).
+        """
+        return (self._skip_allowed and not self._in_batch, self._run_bound)
+
+    def fast_forward(self, now: int, elided_events: int) -> None:
+        """Apply the aggregate accounting of an analytically skipped span.
+
+        The caller has reproduced every *observable* side effect of the
+        ``elided_events`` events it did not dispatch; this moves the
+        clock to ``now`` and advances the seq/executed counters by
+        exactly what those events would have consumed, so every later
+        event keeps its tick-by-tick ``(time, seq)`` identity.
+        """
+        if now < self._now:
+            raise SimulationError(
+                f"cannot fast-forward backwards (t={now}, now={self._now})"
+            )
+        if elided_events < 0:
+            raise SimulationError(
+                f"elided event count must be >= 0, got {elided_events}"
+            )
+        self._skip_spans += 1
+        self._skipped_events += elided_events
+        self._skipped_cycles += now - self._now
+        if len(self._skip_span_log) < SKIP_SPAN_LOG_CAP:
+            self._skip_span_log.append((self._now, now, elided_events))
+        self._now = now
+        self._seq += elided_events
+        self._events_executed += elided_events
 
     # ------------------------------------------------------------------
     # Backend contract (hot paths implemented per backend)
@@ -297,7 +439,10 @@ class SimulationEngine:
         depend on the queue backend, and snapshot digests must be
         backend-independent (both backends produce the same semantic
         state, so a world captured under ``heap`` restores — and
-        digests — identically under ``bucket``).
+        digests — identically under ``bucket``).  The idle-skip span
+        counters are excluded for the same reason: how many gaps were
+        crossed analytically is a diagnostic of *how* the run executed,
+        and digests must be identical with skip on or off.
         """
         return {
             "now": self._now,

@@ -132,6 +132,47 @@ class InterruptController:
         self._check_line(line)
         return self._pending[line]
 
+    def line_enabled(self, line: int) -> bool:
+        self._check_line(line)
+        return self._enabled[line]
+
+    # ------------------------------------------------------------------
+    # Idle-skip support (see Hypervisor._boundary_dispatch)
+    # ------------------------------------------------------------------
+
+    def can_deliver_before(self, time: Optional[int] = None) -> bool:
+        """Whether an IRQ delivery can occur before ``time`` without any
+        further engine event.
+
+        Lines are *latched*: a live (pending AND enabled) line delivers
+        at the next unmask, i.e. immediately on the idle-skip
+        predicate's terms, while any *future* raise originates from a
+        scheduled engine event — which the skip horizon
+        (``engine.peek_next_time()``) already bounds.  The answer is
+        therefore independent of ``time``; the parameter documents the
+        question being asked.
+        """
+        return self._live > 0
+
+    def account_slot_deliveries(self, line: int, count: int = 1,
+                                time: Optional[int] = None) -> None:
+        """Account ``count`` raise+deliver pairs applied analytically.
+
+        The idle-skip fast-forward elides the per-boundary
+        raise → acknowledge → deliver chain of the slot-timer line;
+        this replays its observable residue (the raise and delivery
+        counters — the pending flag and mask toggles cancel out) so
+        controller state stays byte-identical to the tick-by-tick run.
+        With ``time`` given, the IRQ_RAISED trace record of one raise
+        is emitted at that timestamp (the bulk path passes no time:
+        it only runs with tracing disabled).
+        """
+        self._check_line(line)
+        self._raise_counts[line] += count
+        self._delivered_counts[line] += count
+        if time is not None and self._trace is not None:
+            self._trace.emit(time, TraceKind.IRQ_RAISED, line=line)
+
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------

@@ -55,7 +55,12 @@ def resolve_backend_name(explicit: Optional[str] = None) -> str:
         name = os.environ.get(ENV_QUEUE_BACKEND) or DEFAULT_QUEUE_BACKEND
     if name not in QUEUE_BACKENDS:
         known = ", ".join(sorted(QUEUE_BACKENDS))
-        raise SimulationError(f"unknown queue backend {name!r} (known: {known})")
+        source = ("explicit backend argument" if explicit is not None
+                  else f"environment variable {ENV_QUEUE_BACKEND}")
+        raise SimulationError(
+            f"unknown queue backend {name!r} from {source} "
+            f"(valid backends: {known})"
+        )
     return name
 
 
@@ -71,8 +76,9 @@ class HeapQueueEngine(SimulationEngine):
 
     __slots__ = ("_heap",)
 
-    def __init__(self, backend: Optional[str] = None):
-        super().__init__()
+    def __init__(self, backend: Optional[str] = None,
+                 idle_skip: Optional[bool] = None):
+        super().__init__(idle_skip=idle_skip)
         # Entries are (time, seq, callback, handle): the callback is
         # duplicated into the tuple so the dispatch loop never loads it
         # off the handle, and (time, seq) uniqueness guarantees the
@@ -168,6 +174,13 @@ class HeapQueueEngine(SimulationEngine):
         heap = self._heap
         now = self._now
         batches = 0
+        # Unbounded runs open the skip window: a dispatched callback
+        # may fast-forward the clock across a quiescent gap (never past
+        # the next pending event, so the stale loop-local ``now`` is
+        # corrected by the next pop's clock write).  Bounded runs keep
+        # it closed — the caller observes individual events.
+        self._skip_allowed = max_events is None
+        self._run_bound = None
         try:
             if max_events is None:
                 while heap:
@@ -199,6 +212,7 @@ class HeapQueueEngine(SimulationEngine):
                         break
         finally:
             self._running = False
+            self._skip_allowed = False
             # Counters are batched per run rather than bumped per
             # event; nothing observes them mid-callback (the telemetry
             # collectors sample after a run completes).
@@ -220,6 +234,8 @@ class HeapQueueEngine(SimulationEngine):
         heap = self._heap
         now = self._now
         batches = 0
+        self._skip_allowed = True
+        self._run_bound = time
         try:
             while heap:
                 event_time, _seq, callback, handle = heap[0]
@@ -239,6 +255,7 @@ class HeapQueueEngine(SimulationEngine):
                     break
         finally:
             self._running = False
+            self._skip_allowed = False
             self._events_executed += executed
             self._pending -= executed
             self._dispatch_batches += batches
@@ -313,8 +330,9 @@ class BucketQueueEngine(SimulationEngine):
 
     __slots__ = ("_buckets", "_times", "_dirty_times", "_dead_hint")
 
-    def __init__(self, backend: Optional[str] = None):
-        super().__init__()
+    def __init__(self, backend: Optional[str] = None,
+                 idle_skip: Optional[bool] = None):
+        super().__init__(idle_skip=idle_skip)
         self._buckets: dict = {}
         self._times: list[int] = []
         self._dirty_times: set[int] = set()
@@ -475,6 +493,8 @@ class BucketQueueEngine(SimulationEngine):
         now = self._now
         batches = 0
         bounded = max_events is not None
+        self._skip_allowed = not bounded
+        self._run_bound = None
         try:
             while times:
                 if bounded and executed == max_events:
@@ -517,6 +537,11 @@ class BucketQueueEngine(SimulationEngine):
                 if t != now:
                     self._now = now = t
                     batches += 1
+                # The bucket's timestamp is already popped off the
+                # times heap, so its co-timestamped tail is invisible
+                # to _next_pending: close the skip window for the
+                # duration of the batch drain.
+                self._in_batch = True
                 while i < n:
                     _seq, callback, handle = bucket[i]
                     i += 1
@@ -531,6 +556,7 @@ class BucketQueueEngine(SimulationEngine):
                         break
                     if i == n:
                         n = len(bucket)
+                self._in_batch = False
                 if i < len(bucket):
                     # Suspended mid-bucket: keep the undispatched tail
                     # and requeue the timestamp.
@@ -542,6 +568,8 @@ class BucketQueueEngine(SimulationEngine):
                     break
         finally:
             self._running = False
+            self._skip_allowed = False
+            self._in_batch = False
             self._events_executed += executed
             self._pending -= executed
             self._dispatch_batches += batches
@@ -563,6 +591,8 @@ class BucketQueueEngine(SimulationEngine):
         dirty = self._dirty_times
         now = self._now
         batches = 0
+        self._skip_allowed = True
+        self._run_bound = time
         try:
             while times:
                 t = times[0]
@@ -599,6 +629,7 @@ class BucketQueueEngine(SimulationEngine):
                 if t != now:
                     self._now = now = t
                     batches += 1
+                self._in_batch = True
                 while i < n:
                     _seq, callback, handle = bucket[i]
                     i += 1
@@ -613,6 +644,7 @@ class BucketQueueEngine(SimulationEngine):
                         break
                     if i == n:
                         n = len(bucket)
+                self._in_batch = False
                 if i < len(bucket):
                     del bucket[:i]
                     _push(times, t)
@@ -622,6 +654,8 @@ class BucketQueueEngine(SimulationEngine):
                     break
         finally:
             self._running = False
+            self._skip_allowed = False
+            self._in_batch = False
             self._events_executed += executed
             self._pending -= executed
             self._dispatch_batches += batches

@@ -87,6 +87,30 @@ def collect_engine(registry: MetricsRegistry, engine: Any,
         "backend carried in the label)",
         ("run", "backend"),
     ).labels(run=run, backend=getattr(engine, "backend_name", "unknown")).set(1)
+    registry.counter(
+        "sim_idle_skip_spans_total",
+        "Quiescent TDMA gaps crossed analytically by the idle-skip engine",
+        ("run",),
+    ).labels(**labels).inc(getattr(engine, "skip_spans", 0))
+    registry.counter(
+        "sim_idle_skipped_events_total",
+        "Events elided by idle-skip fast-forwards (still counted in "
+        "sim_events_executed_total, preserving byte-identity)",
+        ("run",),
+    ).labels(**labels).inc(getattr(engine, "skipped_events", 0))
+    registry.counter(
+        "sim_idle_skipped_cycles_total",
+        "Simulated cycles crossed by idle-skip fast-forwards",
+        ("run",),
+    ).labels(**labels).inc(getattr(engine, "skipped_cycles", 0))
+    registry.gauge(
+        "sim_idle_skip_info",
+        "Idle-skip engine toggle for this engine (info gauge: value 1, "
+        "state carried in the label)",
+        ("run", "state"),
+    ).labels(run=run,
+             state=("on" if getattr(engine, "idle_skip_enabled", False)
+                    else "off")).set(1)
 
 
 def collect_hypervisor(registry: MetricsRegistry, hv: Any,

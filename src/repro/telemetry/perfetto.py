@@ -17,6 +17,11 @@ Track layout
   ``TraceRecorder.of_kind(...)`` counts, which the tests pin.
 * **pid 3 — "Campaign"**: one thread track per worker process, each
   executed campaign task a ``ph="X"`` span over its wall time.
+* **pid 4 — "Engine"**: one "Idle-skip spans" thread; each quiescent
+  gap the idle-skip engine crossed analytically (see
+  ``SimulationEngine.skip_span_log``) is a ``ph="X"`` span annotated
+  with the number of events elided — making the fast-forwarded
+  stretches visible next to the semantic trace instants they bracket.
 
 Timestamps are microseconds, as the format requires: simulation cycles
 go through :meth:`~repro.sim.clock.Clock.cycles_to_us` when a clock is
@@ -39,10 +44,11 @@ from repro.sim.trace import TraceKind, TraceRecorder
 #: Identifies traces written by :func:`write_chrome_trace`.
 TRACE_FORMAT = "repro-chrome-trace-v1"
 
-#: Process ids of the three track groups.
+#: Process ids of the four track groups.
 PID_CPU = 1
 PID_TRACE = 2
 PID_CAMPAIGN = 3
+PID_ENGINE = 4
 
 #: TraceKind -> thread-track family under ``PID_TRACE``.  Every kind
 #: maps somewhere (unknown/custom kinds fall through to "Other"), so
@@ -106,6 +112,7 @@ def chrome_trace_events(
     clock: Any = None,
     cpu_segments: Optional[Iterable[Any]] = None,
     campaign: Any = None,
+    engine: Any = None,
 ) -> "list[dict]":
     """Build the flat ``traceEvents`` list for one run.
 
@@ -122,6 +129,10 @@ def chrome_trace_events(
     campaign:
         A :class:`~repro.experiments.runner.CampaignTelemetry`;
         executed tasks become spans on per-worker tracks.
+    engine:
+        A :class:`~repro.sim.engine.SimulationEngine`; its recorded
+        idle-skip spans become complete events on the "Engine" track
+        (omitted entirely when no span was recorded).
     """
     to_us = (clock.cycles_to_us if clock is not None
              else lambda cycles: cycles)
@@ -180,6 +191,24 @@ def chrome_trace_events(
                          for key, value in event.data.items()},
             })
 
+    spans = getattr(engine, "skip_span_log", None) if engine is not None else None
+    if spans:
+        events.extend(_metadata(PID_ENGINE, "Engine"))
+        events.extend(_metadata(PID_ENGINE, "", 1, "Idle-skip spans"))
+        for start, end, elided in spans:
+            start_us = to_us(start)
+            events.append({
+                "ph": "X",
+                "pid": PID_ENGINE,
+                "tid": 1,
+                "ts": start_us,
+                "dur": to_us(end) - start_us,
+                "name": f"idle-skip ({elided} events)",
+                "cat": "idle_skip",
+                "args": {"events_elided": elided,
+                         "cycles": end - start},
+            })
+
     if campaign is not None:
         workers: "dict[int, int]" = {}
         for task in campaign.tasks:
@@ -214,6 +243,7 @@ def write_chrome_trace(path: "str | os.PathLike[str]",
                        clock: Any = None,
                        cpu_segments: Optional[Iterable[Any]] = None,
                        campaign: Any = None,
+                       engine: Any = None,
                        metadata: Optional[Mapping[str, Any]] = None) -> int:
     """Write a Chrome trace JSON file; returns the event count.
 
@@ -224,7 +254,8 @@ def write_chrome_trace(path: "str | os.PathLike[str]",
     """
     events = chrome_trace_events(trace, clock=clock,
                                  cpu_segments=cpu_segments,
-                                 campaign=campaign)
+                                 campaign=campaign,
+                                 engine=engine)
     other: "dict[str, Any]" = {"format": TRACE_FORMAT}
     if metadata:
         other.update({str(key): _json_safe(value)

@@ -137,6 +137,7 @@ def export_traced_run(run: TracedRun,
             clock=run.clock,
             cpu_segments=run.cpu_segments,
             campaign=campaign,
+            engine=run.hypervisor.engine,
             metadata=meta,
         )
     if registry is not None:

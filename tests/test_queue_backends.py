@@ -189,6 +189,19 @@ def test_unknown_backend_fails_loudly(monkeypatch):
         SimulationEngine()
 
 
+def test_unknown_backend_error_names_source_and_valid_backends(monkeypatch):
+    """The error says where the bad name came from and what is valid."""
+    valid = ", ".join(sorted(QUEUE_BACKENDS))
+    with pytest.raises(SimulationError,
+                       match=f"explicit backend argument.*{valid}"):
+        resolve_backend_name("btree")
+    monkeypatch.setenv(ENV_QUEUE_BACKEND, "nonsense")
+    with pytest.raises(SimulationError,
+                       match=f"environment variable {ENV_QUEUE_BACKEND}"
+                             f".*{valid}"):
+        resolve_backend_name(None)
+
+
 def test_constructor_dispatches_to_backend_class(monkeypatch):
     monkeypatch.delenv(ENV_QUEUE_BACKEND, raising=False)
     assert type(SimulationEngine(backend="heap")) is HeapQueueEngine
