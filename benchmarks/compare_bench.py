@@ -8,8 +8,9 @@ regressions beyond a threshold (default 20 %), plus drops in the
 engine microbenchmark's ``engine.events_per_second`` beyond the same
 threshold (when both runs recorded it on the same queue backend), and
 drops in the idle-skip A/B record (``engine_idle_ab``: skip-leg
-events/s and skip/tick speedup) — skipped with a note when either run
-predates that field.
+events/s and skip/tick speedup) and in the layered-fork A/B record
+(``engine_fork_ab``: layered-leg forks/s and layered/full speedup) —
+each skipped with a note when either run predates its field.
 
 Usage::
 
@@ -164,6 +165,47 @@ def compare_idle_ab(previous: dict, latest: dict, *,
     return lines, regressed
 
 
+def compare_fork_ab(previous: dict, latest: dict, *,
+                    threshold: float) -> "tuple[list[str], bool]":
+    """Diff the layered-fork A/B microbenchmark; returns (lines, regressed).
+
+    Flags a drop in the layered leg's forks/s or in the layered/full
+    speedup beyond ``threshold``.  Skipped with a note when either run
+    predates the ``engine_fork_ab`` field.
+    """
+    old_ab = previous.get("engine_fork_ab") or {}
+    new_ab = latest.get("engine_fork_ab") or {}
+    if not old_ab or not new_ab:
+        return ["  fork A/B: not recorded in both runs "
+                "(older history predates engine_fork_ab), skipping."], False
+    lines: "list[str]" = []
+    regressed = False
+    old_fps = (old_ab.get("forks_per_second") or {}).get("layered")
+    new_fps = (new_ab.get("forks_per_second") or {}).get("layered")
+    if old_fps and new_fps:
+        delta = (float(new_fps) - float(old_fps)) / float(old_fps)
+        line = (f"  layered forks  {float(old_fps):,.0f} -> "
+                f"{float(new_fps):,.0f} forks/s  {100 * delta:+.1f}%")
+        if delta < -threshold:
+            line += (f"  << throughput regression "
+                     f"(> {100 * threshold:.0f}% drop)")
+            regressed = True
+        lines.append(line)
+    old_speedup = old_ab.get("speedup")
+    new_speedup = new_ab.get("speedup")
+    if old_speedup and new_speedup:
+        delta = ((float(new_speedup) - float(old_speedup))
+                 / float(old_speedup))
+        line = (f"  layered-fork speedup  {float(old_speedup):.1f}x -> "
+                f"{float(new_speedup):.1f}x  {100 * delta:+.1f}%")
+        if delta < -threshold:
+            line += (f"  << speedup regression "
+                     f"(> {100 * threshold:.0f}% drop)")
+            regressed = True
+        lines.append(line)
+    return lines, regressed
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         description="Compare the last two runs in a bench-json history.")
@@ -206,7 +248,9 @@ def main(argv: "list[str] | None" = None) -> int:
         previous, latest, threshold=args.threshold)
     idle_lines, idle_regressed = compare_idle_ab(
         previous, latest, threshold=args.threshold)
-    for line in lines + engine_lines + idle_lines:
+    fork_lines, fork_regressed = compare_fork_ab(
+        previous, latest, threshold=args.threshold)
+    for line in lines + engine_lines + idle_lines + fork_lines:
         print(line)
     failed = False
     if regressions:
@@ -219,6 +263,10 @@ def main(argv: "list[str] | None" = None) -> int:
         failed = True
     if idle_regressed:
         print(f"WARNING: idle-skip A/B regressed > "
+              f"{100 * args.threshold:.0f}%")
+        failed = True
+    if fork_regressed:
+        print(f"WARNING: layered-fork A/B regressed > "
               f"{100 * args.threshold:.0f}%")
         failed = True
     if failed:

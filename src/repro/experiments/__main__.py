@@ -170,6 +170,7 @@ def _export_telemetry(args, *, scale, jobs: int, cache, telemetry) -> None:
     seed (see :mod:`repro.telemetry.run`); cache and campaign-runner
     metrics are sampled from the run itself.
     """
+    from repro.sim.worldstore import default_store
     from repro.telemetry import (
         MetricsRegistry,
         collect_cache,
@@ -180,11 +181,16 @@ def _export_telemetry(args, *, scale, jobs: int, cache, telemetry) -> None:
 
     registry = MetricsRegistry() if args.metrics_json is not None else None
     replay = run_traced_fig6(irqs=scale.fig6_irqs_per_load, seed=args.seed)
+    # The process-global world store holds whatever warm-world layers
+    # this invocation captured in-process (campaign workers keep their
+    # own stores); exporting it adds the sim_world_* sharing metrics
+    # and the capture-log Perfetto track.
     written = export_traced_run(
         replay,
         trace_path=args.trace_out,
         registry=registry,
         campaign=telemetry,
+        world_store=default_store(),
         metadata={"scale": scale.name, "jobs": jobs},
     )
     if args.trace_out is not None:
@@ -338,12 +344,14 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.sim.benchmark import (
             measure_backend_ab,
             measure_engine_throughput,
+            measure_fork_ab,
             measure_idle_ab,
         )
 
         engine = measure_engine_throughput()
         engine_ab = measure_backend_ab()
         engine_idle_ab = measure_idle_ab()
+        engine_fork_ab = measure_fork_ab()
         analysis = measure_analysis_speedup()
         record = write_bench_json(
             args.bench_json,
@@ -351,18 +359,23 @@ def main(argv: "list[str] | None" = None) -> int:
             experiment_seconds=experiment_seconds, engine=engine,
             engine_ab=engine_ab,
             engine_idle_ab=engine_idle_ab,
+            engine_fork_ab=engine_fork_ab,
             analysis=analysis,
             cache=cache.stats if cache is not None else None,
             telemetry=telemetry,
         )
         ab = record["engine_ab"]
         idle = record["engine_idle_ab"]
+        fork = record["engine_fork_ab"]
         print(f"[bench] engine {record['engine']['events_per_second']:,.0f} "
               f"events/s (backend={record['engine']['backend']}); "
               f"A/B winner {ab['winner']} "
               f"{ab['improvement_vs_legacy']:+.1%} vs legacy; "
               f"idle-skip {idle['speedup']:.1f}x "
               f"({idle['skipped_events']:,} events elided); "
+              f"layered forks {fork['speedup']:.1f}x "
+              f"({fork['memory_ratio']:.1f}x less memory over "
+              f"{fork['branches']} branches); "
               f"analysis memoization "
               f"{record['analysis']['speedup']:.1f}x; "
               f"history appended to {args.bench_json}",

@@ -39,6 +39,7 @@ from repro.experiments.common import (
 from repro.metrics.report import render_table
 from repro.metrics.stats import running_average, summarize
 from repro.sim.snapshot import SnapshotError, WorldSnapshot, settle
+from repro.sim.worldstore import default_store
 from repro.workloads.automotive import AutomotiveTraceConfig, generate_automotive_trace
 from repro.workloads.traces import ActivationTrace
 
@@ -151,7 +152,10 @@ def run_fig7_prefix(config: "Fig7Config | None" = None,
     timer.arm_next()
     hv.run_until_irq_count(pre_target)
     try:
-        snapshot = settle(hv, {timer.name: timer})
+        # Interned into the per-process layered store: the four bound
+        # cases (and any deeper tree forked off this prefix) share the
+        # prefix's storage instead of each holding a full copy.
+        snapshot = settle(hv, {timer.name: timer}, store=default_store())
     except SnapshotError:
         return Fig7Prefix(key=key, learn_count=learn_count, snapshot=None)
     if policy.phase is not LearningPhase.LEARN:

@@ -640,6 +640,7 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
                      engine: "Any | None" = None,
                      engine_ab: "Any | None" = None,
                      engine_idle_ab: "Any | None" = None,
+                     engine_fork_ab: "Any | None" = None,
                      analysis: "Any | None" = None,
                      cache: "Any | None" = None,
                      telemetry: "CampaignTelemetry | None" = None) -> dict:
@@ -656,6 +657,10 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
     (``engine_idle_ab``: an
     :class:`~repro.sim.benchmark.IdleABResult` — skip vs tick events/s,
     speedup, spans/events/cycles elided),
+    the fork-tree race on a deep fig7-style scenario tree
+    (``engine_fork_ab``: a
+    :class:`~repro.sim.benchmark.ForkABResult` — layered vs full-copy
+    forks/s, speedup, retained bytes per leg and their ratio),
     the analysis memoization A/B (``analysis``: an
     :class:`~repro.analysis.benchmark.AnalysisBenchmarkResult`) and
     the campaign's cache statistics (``cache``: a
@@ -715,6 +720,22 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
             "events_per_second": {
                 name: round(result.events_per_second, 1)
                 for name, result in sorted(engine_idle_ab.results.items())
+            },
+        }
+    if engine_fork_ab is not None:
+        record["engine_fork_ab"] = {
+            "speedup": round(engine_fork_ab.speedup, 2),
+            "memory_ratio": round(engine_fork_ab.memory_ratio, 2),
+            "branches": engine_fork_ab.branches,
+            "nodes": engine_fork_ab.nodes,
+            "leaf_digest": engine_fork_ab.leaf_digest,
+            "forks_per_second": {
+                name: round(result.forks_per_second, 1)
+                for name, result in sorted(engine_fork_ab.results.items())
+            },
+            "retained_bytes": {
+                name: result.retained_bytes
+                for name, result in sorted(engine_fork_ab.results.items())
             },
         }
     if analysis is not None:

@@ -29,6 +29,7 @@ from repro.core.policy import MonitoredInterposing, NeverInterpose
 from repro.experiments.common import (
     PaperSystemConfig,
     build_warm_world,
+    fork_point_snapshot,
     run_irq_scenario,
     run_irq_scenario_from,
 )
@@ -94,14 +95,14 @@ def run_cycle_sweep_point(scale: float,
     if shared_warmup:
         warm = build_warm_world(system_scaled, NeverInterpose(), intervals)
         classic_run = run_irq_scenario_from(warm, system_scaled)
-
-        def install_monitor(hv, timer, source) -> None:
-            source.policy = MonitoredInterposing(
-                DeltaMinusMonitor.from_dmin(dmin)
-            )
-
-        interposed_run = run_irq_scenario_from(warm, system_scaled,
-                                               configure=install_monitor)
+        # The interposed leg is a data-level fork of the warm world
+        # (policy spliced into a child layer, O(changes)) when the
+        # snapshot is layered; both paths are byte-identical.
+        interposed_warm, configure = fork_point_snapshot(
+            warm, system_scaled,
+            MonitoredInterposing(DeltaMinusMonitor.from_dmin(dmin)))
+        interposed_run = run_irq_scenario_from(interposed_warm, system_scaled,
+                                               configure=configure)
     else:
         classic_run = run_irq_scenario(system_scaled, NeverInterpose(),
                                        intervals)
@@ -224,13 +225,10 @@ def run_dmin_sweep_point(multiplier: float,
                 "d_min sweep warm-up was built under different parameters"
             )
 
-        def install_monitor(hv, timer, source) -> None:
-            source.policy = MonitoredInterposing(
-                DeltaMinusMonitor.from_dmin(dmin)
-            )
-
-        run = run_irq_scenario_from(warmup.snapshot, system,
-                                    configure=install_monitor)
+        point_warm, configure = fork_point_snapshot(
+            warmup.snapshot, system,
+            MonitoredInterposing(DeltaMinusMonitor.from_dmin(dmin)))
+        run = run_irq_scenario_from(point_warm, system, configure=configure)
     else:
         intervals = exponential_interarrivals(irq_count, mean, seed=seed)
         run = run_irq_scenario(

@@ -111,7 +111,7 @@ class LatencyColumns:
 
     __slots__ = ("_source_ids", "_seqs", "_arrivals", "_completions",
                  "_modes", "_cuts", "_source_names", "_source_index",
-                 "_source_counts")
+                 "_source_counts", "_epoch")
 
     def __init__(self):
         self._source_ids = array("h")
@@ -123,9 +123,18 @@ class LatencyColumns:
         self._source_names: list[str] = []
         self._source_index: dict[str, int] = {}
         self._source_counts: list[int] = []
+        self._epoch = 0
+
+    @property
+    def snapshot_epoch(self) -> int:
+        """Change counter bumped per append; lets the layered world
+        store (:mod:`repro.sim.worldstore`) skip re-serializing the
+        columns when no IRQ completed since the previous capture."""
+        return self._epoch
 
     def append(self, source: str, seq: int, arrival: int, completed_at: int,
                mode: HandlingMode, enforced_cut: bool) -> None:
+        self._epoch += 1
         sid = self._source_index.get(source)
         if sid is None:
             sid = len(self._source_names)
@@ -1321,15 +1330,21 @@ class Hypervisor:
     # Snapshot/fork support (see repro.sim.snapshot)
     # ------------------------------------------------------------------
 
-    def snapshot_state(self, ctx) -> dict:
-        """Capture the complete hypervisor system as plain data.
+    #: World parts in capture order; each has a builder below.  The
+    #: layered store (:mod:`repro.sim.worldstore`) captures parts
+    #: independently so a fork only re-serializes what changed.
+    SNAPSHOT_PARTS = (
+        "config", "slots", "engine", "scheduler", "intc", "trace",
+        "context_switches", "ledger", "stats", "latency_records",
+        "irq_seq", "partitions", "sources", "boundary", "cpu",
+    )
 
-        Only valid at a quiescent point: no hypervisor event chain in
-        flight (interrupts unmasked), no interpose window open, no
-        deferred slot switch, no guests/IPC attached.  Components that
-        cannot be reconstructed raise :class:`SnapshotError`, which
-        :func:`repro.sim.snapshot.settle` uses to step the world to the
-        next capturable instant.
+    def snapshot_check(self) -> None:
+        """Raise :class:`SnapshotError` unless the world is quiescent.
+
+        A snapshot is only well-defined with no hypervisor event chain
+        in flight (interrupts unmasked), no interpose window open, no
+        deferred slot switch, no watcher, and no guests/IPC attached.
         """
         if not self._started:
             raise SnapshotError("hypervisor not started; nothing to fork")
@@ -1343,32 +1358,71 @@ class Hypervisor:
             raise SnapshotError("IPC router attached (not snapshot-capable)")
         if self.intc.masked:
             raise SnapshotError("interrupts masked (hypervisor chain in flight)")
+
+    def snapshot_part_names(self) -> tuple:
+        """Names of the independently-capturable world parts."""
+        return self.SNAPSHOT_PARTS
+
+    def snapshot_part(self, name: str, ctx) -> Any:
+        """Build one part of the snapshot state (claims its events)."""
+        builder = self._SNAPSHOT_BUILDERS.get(name)
+        if builder is None:
+            raise SnapshotError(f"unknown snapshot part {name!r}")
+        return builder(self, ctx)
+
+    def snapshot_epochs(self) -> dict:
+        """Change epochs of the parts that track their own dirtiness.
+
+        These are the append-heavy stores that dominate snapshot size;
+        everything else is cheap enough to re-serialize and compare.
+        """
         return {
-            "config": asdict(self.config),
-            "slots": [
-                (slot.partition, slot.length_cycles)
-                for slot in self.scheduler.slots
-            ],
-            "engine": self.engine.snapshot_state(),
-            "scheduler": self.scheduler.snapshot_state(),
-            "intc": self.intc.snapshot_state(),
-            "trace": self.trace.snapshot_state(),
-            "context_switches": self.context_switches.snapshot_state(),
-            "ledger": self.ledger.snapshot_state(),
-            "stats": asdict(self.stats),
-            "latency_records": self.latency_columns.record_tuples(),
-            "irq_seq": dict(self._irq_seq),
-            "partitions": [
-                partition.snapshot_state()
-                for partition in self._partitions.values()
-            ],
-            "sources": [
-                self._snapshot_source(source, ctx)
-                for source in self._sources.values()
-            ],
-            "boundary": ctx.claim(self._boundary_handle),
-            "cpu": self.cpu.snapshot_state(ctx, self._describe_execution_owner),
+            "trace": self.trace.snapshot_epoch,
+            "ledger": self.ledger.snapshot_epoch,
+            "latency_records": self.latency_columns.snapshot_epoch,
         }
+
+    def snapshot_state(self, ctx) -> dict:
+        """Capture the complete hypervisor system as plain data.
+
+        Only valid at a quiescent point (see :meth:`snapshot_check`).
+        Components that cannot be reconstructed raise
+        :class:`SnapshotError`, which :func:`repro.sim.snapshot.settle`
+        uses to step the world to the next capturable instant.
+        """
+        self.snapshot_check()
+        return {name: self.snapshot_part(name, ctx)
+                for name in self.SNAPSHOT_PARTS}
+
+    _SNAPSHOT_BUILDERS: dict = {
+        "config": lambda self, ctx: asdict(self.config),
+        "slots": lambda self, ctx: [
+            (slot.partition, slot.length_cycles)
+            for slot in self.scheduler.slots
+        ],
+        "engine": lambda self, ctx: self.engine.snapshot_state(),
+        "scheduler": lambda self, ctx: self.scheduler.snapshot_state(),
+        "intc": lambda self, ctx: self.intc.snapshot_state(),
+        "trace": lambda self, ctx: self.trace.snapshot_state(),
+        "context_switches":
+            lambda self, ctx: self.context_switches.snapshot_state(),
+        "ledger": lambda self, ctx: self.ledger.snapshot_state(),
+        "stats": lambda self, ctx: asdict(self.stats),
+        "latency_records":
+            lambda self, ctx: self.latency_columns.record_tuples(),
+        "irq_seq": lambda self, ctx: dict(self._irq_seq),
+        "partitions": lambda self, ctx: [
+            partition.snapshot_state()
+            for partition in self._partitions.values()
+        ],
+        "sources": lambda self, ctx: [
+            self._snapshot_source(source, ctx)
+            for source in self._sources.values()
+        ],
+        "boundary": lambda self, ctx: ctx.claim(self._boundary_handle),
+        "cpu": lambda self, ctx: self.cpu.snapshot_state(
+            ctx, self._describe_execution_owner),
+    }
 
     def _snapshot_source(self, source: IrqSource, ctx) -> dict:
         if source.bottom_handler_actual is not None:

@@ -29,6 +29,12 @@ under ``engine_ab``.
 fast-forward across quiescent TDMA gaps, see
 ``Hypervisor._boundary_dispatch``) against the tick-by-tick chain on an
 idle-dominated full-system scenario; recorded under ``engine_idle_ab``.
+
+:func:`measure_fork_ab` races the layered copy-on-write world store
+(:mod:`repro.sim.worldstore`) against full-copy forking on a deep
+fig7-style scenario tree — every node a policy variant of its parent —
+checking leaf digests are byte-identical across the legs; recorded
+under ``engine_fork_ab``.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from __future__ import annotations
 import gc
 import os
 import time
+import tracemalloc
 from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 from typing import Callable, Optional
@@ -426,3 +433,219 @@ def measure_idle_ab(arrivals: int = 60,
                         skip_spans=skip_stats[0],
                         skipped_events=skip_stats[1],
                         skipped_cycles=skip_stats[2])
+
+
+@dataclass(frozen=True)
+class ForkLegResult:
+    """One contender's measurement in the fork-tree A/B race."""
+
+    forks: int
+    elapsed_seconds: float
+    retained_bytes: int
+
+    @property
+    def forks_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.forks / self.elapsed_seconds
+
+
+@dataclass(frozen=True)
+class ForkABResult:
+    """Outcome of the layered vs full-copy fork-tree A/B race.
+
+    Both legs build the *identical* scenario tree — every node is a
+    load-fraction variant of its parent, every leaf digest must match
+    byte for byte across the legs (checked, raised on mismatch) — so
+    the time and retained-memory ratios are pure implementation costs.
+    """
+
+    results: dict[str, ForkLegResult]
+    branches: int          # leaf count of the tree
+    nodes: int             # total forks performed (internal + leaves)
+    leaf_digest: str       # digest of the first leaf (same in both legs)
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock factor of layered forks over full-copy forks."""
+        layered = self.results["layered"].elapsed_seconds
+        if layered <= 0:
+            return 0.0
+        return self.results["full"].elapsed_seconds / layered
+
+    @property
+    def memory_ratio(self) -> float:
+        """Full-copy retained bytes per layered retained byte."""
+        layered = self.results["layered"].retained_bytes
+        if layered <= 0:
+            return 0.0
+        return self.results["full"].retained_bytes / layered
+
+
+def _fork_tree_base(arrivals: int):
+    """Simulate a fig7-style learning prefix and settle a fork point.
+
+    Returns ``(base_snapshot, store, irq_name)``: a quiescent world
+    mid-learning-phase whose policy still accepts ``set_load_fraction``
+    re-targeting — the exact shape of a fig7 prefix fork, without the
+    cost of generating the automotive trace.
+    """
+    from repro.core.policy import SelfLearningInterposing
+    from repro.experiments.common import PaperSystemConfig
+    from repro.sim.snapshot import settle
+    from repro.sim.worldstore import WorldStore
+
+    system = PaperSystemConfig()
+    clock = system.clock()
+    base_gap = clock.us_to_cycles(900.0)
+    intervals = [base_gap + 1017 * (i % 7) for i in range(arrivals)]
+    policy = SelfLearningInterposing(depth=5, learn_count=arrivals + 1,
+                                     load_fraction=None)
+    hv, timer = system.build(policy, intervals)
+    hv.start()
+    timer.arm_next()
+    hv.run_until_irq_count(max(8, arrivals // 2))
+    store = WorldStore()
+    snapshot = settle(hv, {timer.name: timer}, store=store)
+    return snapshot, store, system.irq_name
+
+
+def _build_fork_tree(base, fork_child, branching) -> list:
+    """Fork a tree under ``base``; returns every created snapshot.
+
+    ``fork_child(parent, fraction)`` forks one policy-variant node;
+    fractions are unique per node so sibling *contents* differ (no
+    trivial dedup) while the tree still shares its deep prefix.
+    """
+    level = [base]
+    snapshots: list = []
+    counter = 0
+    for width in branching:
+        next_level = []
+        for parent in level:
+            for _ in range(width):
+                counter += 1
+                fraction = 1.0 / (1.0 + counter)
+                child = fork_child(parent, fraction)
+                next_level.append(child)
+        snapshots.extend(next_level)
+        level = next_level
+    return snapshots
+
+
+def _fork_full(parent, fraction: float, irq_name: str):
+    """Full-copy fork: restore a live world, mutate, re-capture flat."""
+    from repro.sim.snapshot import WorldSnapshot, capture_world, restore_world
+
+    hv, devices = restore_world(parent)
+    hv.irq_source(irq_name).policy.set_load_fraction(fraction)
+    snapshot = capture_world(hv, devices)
+    snapshot.digest()
+    if not isinstance(snapshot, WorldSnapshot):
+        raise RuntimeError("full leg must produce flat snapshots")
+    return snapshot
+
+
+def _fork_layered(parent, fraction: float, irq_name: str):
+    """Layered fork: splice the re-targeted policy into a child layer."""
+    from repro.experiments.common import fork_warm_variant
+
+    child = fork_warm_variant(
+        parent, source_name=irq_name,
+        configure_policy=lambda policy: policy.set_load_fraction(fraction))
+    child.digest()
+    return child
+
+
+def measure_fork_ab(branching: "tuple[int, ...]" = (4, 5, 5),
+                    arrivals: int = 240,
+                    repeats: int = 3) -> ForkABResult:
+    """Race layered copy-on-write forks against full-copy forks.
+
+    Both legs grow the same deep scenario tree from one shared
+    fig7-style prefix — default ``(4, 5, 5)``: 124 forks, 100 leaves —
+    interleaved round-robin within each repeat so host noise lands on
+    both alike (same rationale as :func:`measure_backend_ab`);
+    best-of-``repeats`` per leg.  Every leaf digest must be
+    byte-identical across the legs; a mismatch means the layered store
+    broke the byte-identity contract and is raised loudly rather than
+    reported as a speedup.
+
+    Retained memory is measured in separate ``tracemalloc`` passes
+    (instrumented allocation is far slower, so memory never pollutes
+    the timing legs): bytes still reachable once the whole tree of
+    snapshots is built, the O(changes)-vs-O(world) acceptance number.
+    """
+    if not branching or any(width <= 0 for width in branching):
+        raise ValueError(f"branching must be positive widths, got {branching}")
+    if arrivals < 16:
+        raise ValueError(f"arrivals must be >= 16, got {arrivals}")
+
+    legs: dict[str, Callable] = {
+        "layered": _fork_layered,
+        "full": _fork_full,
+    }
+    best_elapsed: dict[str, float] = {}
+    leaf_digests: dict[str, list[str]] = {}
+    nodes = 0
+    branches = _leaf_count(branching)
+    for _ in range(max(1, repeats)):
+        # A fresh base world *and store* per round: the prefix is
+        # deterministic (digests must agree across rounds), but reusing
+        # one store would let later layered rounds ride the interning
+        # memos of earlier ones — each round must pay full cost.
+        base, _store, irq_name = _fork_tree_base(arrivals)
+        for name, fork in legs.items():
+            def fork_child(parent, fraction, fork=fork):
+                return fork(parent, fraction, irq_name)
+            gc.collect()
+            started = time.perf_counter()
+            snapshots = _build_fork_tree(base, fork_child, branching)
+            elapsed = time.perf_counter() - started
+            nodes = len(snapshots)
+            digests = [snap.digest() for snap in snapshots[-branches:]]
+            previous = leaf_digests.setdefault(name, digests)
+            if previous != digests:
+                raise RuntimeError(
+                    f"fork A/B {name} leg diverged between repeats")
+            if name not in best_elapsed or elapsed < best_elapsed[name]:
+                best_elapsed[name] = elapsed
+    if leaf_digests["layered"] != leaf_digests["full"]:
+        raise RuntimeError(
+            "fork A/B legs diverged: layered leaf digests do not match "
+            "full-copy leaf digests (byte-identity contract broken)"
+        )
+
+    retained: dict[str, int] = {}
+    for name, fork in legs.items():
+        base, _store, irq_name = _fork_tree_base(arrivals)
+        def fork_child(parent, fraction, fork=fork):
+            return fork(parent, fraction, irq_name)
+        gc.collect()
+        tracemalloc.start()
+        try:
+            snapshots = _build_fork_tree(base, fork_child, branching)
+            gc.collect()
+            retained[name], _peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        del snapshots
+
+    return ForkABResult(
+        results={
+            name: ForkLegResult(forks=nodes,
+                                elapsed_seconds=best_elapsed[name],
+                                retained_bytes=retained[name])
+            for name in legs
+        },
+        branches=branches,
+        nodes=nodes,
+        leaf_digest=leaf_digests["layered"][0],
+    )
+
+
+def _leaf_count(branching) -> int:
+    count = 1
+    for width in branching:
+        count *= width
+    return count

@@ -150,6 +150,20 @@ class WorldSnapshot:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def _require_snapshot_protocol(obj: Any, described_as: str,
+                               methods: tuple[str, ...]) -> None:
+    """Fail with the *source* named, not an AttributeError mid-capture."""
+    missing = [name for name in methods if not callable(getattr(obj, name,
+                                                               None))]
+    if missing:
+        raise SnapshotError(
+            f"{described_as} ({type(obj).__module__}."
+            f"{type(obj).__qualname__}) does not implement the snapshot "
+            f"protocol: missing {', '.join(missing)} "
+            "(see repro.sim.snapshot for the capture/restore contract)"
+        )
+
+
 def capture_world(world: Any,
                   devices: Optional[dict[str, Any]] = None) -> WorldSnapshot:
     """Capture ``world`` (a hypervisor-like object) and its devices.
@@ -160,13 +174,31 @@ def capture_world(world: Any,
     whose hooks into the world are re-bound by name on restore.
 
     Raises :class:`SnapshotError` unless every pending event is
-    claimed by exactly one owner — the quiescence check.
+    claimed by exactly one owner — the quiescence check.  A component
+    that is mid-dispatch or does not speak the protocol fails with an
+    error naming it, not an AttributeError deep in the capture.
     """
-    if getattr(world.engine, "_running", False):
+    engine = getattr(world, "engine", None)
+    if engine is None:
+        raise SnapshotError(
+            f"world {type(world).__module__}.{type(world).__qualname__} "
+            "exposes no .engine — not a capturable simulation world"
+        )
+    _require_snapshot_protocol(world, "world", ("snapshot_state",
+                                               "restore_from_snapshot",
+                                               "rebind_hooks"))
+    for name, device in (devices or {}).items():
+        _require_snapshot_protocol(device, f"device {name!r}",
+                                   ("snapshot_state",
+                                    "restore_from_snapshot"))
+    if getattr(engine, "_running", False):
         # Mid-dispatch the queue backends hold loop-local drain state
         # (and counters are batched per run), so live_entries()/counters
         # would be inconsistent; capture only between runs.
-        raise SnapshotError("cannot capture while the engine is dispatching")
+        raise SnapshotError(
+            f"cannot capture {type(world).__qualname__} while its engine "
+            f"is dispatching (t={engine.now}): capture only between runs"
+        )
     ctx = SnapshotContext(world.engine, devices)
     state = {
         "format": SNAPSHOT_FORMAT,
@@ -215,7 +247,7 @@ def restore_world(snapshot: WorldSnapshot) -> tuple[Any, dict[str, Any]]:
 
 
 def settle(world: Any, devices: Optional[dict[str, Any]] = None,
-           max_steps: int = 256) -> WorldSnapshot:
+           max_steps: int = 256, store: Any = None) -> WorldSnapshot:
     """Advance the world event by event until a capture succeeds.
 
     A run usually stops inside a hypervisor event chain (interrupts
@@ -223,11 +255,26 @@ def settle(world: Any, devices: Optional[dict[str, Any]] = None,
     handful of events away.  ``max_steps`` bounds the search so a
     world that never quiesces (e.g. one with a guest kernel attached)
     fails loudly instead of running to completion.
+
+    With a ``store`` (a :class:`repro.sim.worldstore.WorldStore`) the
+    successful capture is interned there and a
+    :class:`~repro.sim.worldstore.LayeredSnapshot` — same state, same
+    digest — is returned instead of a flat copy.
     """
+    if store is not None:
+        from repro.sim.worldstore import capture_world_layered
+
+        def _capture():
+            snapshot, _basis = capture_world_layered(world, devices, store)
+            return snapshot
+    else:
+        def _capture():
+            return capture_world(world, devices)
+
     last: Optional[SnapshotError] = None
     for _ in range(max_steps):
         try:
-            return capture_world(world, devices)
+            return _capture()
         except SnapshotError as error:
             last = error
             if not world.engine.step():

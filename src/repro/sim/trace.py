@@ -80,20 +80,41 @@ class TraceRecorder:
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"trace capacity must be positive, got {capacity}")
-        self.enabled = enabled
+        self._epoch = 0
+        self._enabled = enabled
         self._capacity = capacity
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._dropped = 0
         self._listeners: list[Callable[[TraceEvent], None]] = []
 
     @property
+    def enabled(self) -> bool:
+        """Whether :meth:`emit` records (a property so toggles are dirty)."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        self._epoch += 1
+
+    @property
     def capacity(self) -> Optional[int]:
         """The retention bound, or None for unbounded recording."""
         return self._capacity
 
+    @property
+    def snapshot_epoch(self) -> int:
+        """Change counter bumped by every mutation of recorder state.
+
+        The layered world store (:mod:`repro.sim.worldstore`) skips
+        re-serializing the (often dominant) event list when this has
+        not moved since the previous capture.
+        """
+        return self._epoch
+
     def emit(self, time: int, kind: TraceKind, **data: Any) -> None:
         """Record an event (no-op when recording is disabled)."""
-        if not self.enabled:
+        if not self._enabled:
             return
         event = TraceEvent(time, kind, data)
         events = self._events
@@ -102,6 +123,7 @@ class TraceRecorder:
             # maxlen semantics); only the drop counter is ours to keep.
             self._dropped += 1
         events.append(event)
+        self._epoch += 1
         for listener in self._listeners:
             listener(event)
 
@@ -138,6 +160,7 @@ class TraceRecorder:
         """Discard all retained events."""
         self._events.clear()
         self._dropped = 0
+        self._epoch += 1
 
     def digest(self) -> str:
         """Stable SHA-256 over the canonical JSON of all retained events.
@@ -175,13 +198,14 @@ class TraceRecorder:
                 f"snapshot capacity {state['capacity']} != recorder "
                 f"capacity {self._capacity}"
             )
-        self.enabled = state["enabled"]
+        self._enabled = state["enabled"]
         self._dropped = state["dropped"]
         self._events = deque(
             (TraceEvent(time, TraceKind(kind), data)
              for time, kind, data in state["events"]),
             maxlen=self._capacity,
         )
+        self._epoch += 1
 
     def render_timeline(self, clock=None, limit: int = 50) -> str:
         """Human-readable timeline of the first ``limit`` events.

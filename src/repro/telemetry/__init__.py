@@ -21,6 +21,7 @@ from repro.telemetry.collectors import (
     collect_campaign,
     collect_engine,
     collect_hypervisor,
+    collect_world_store,
 )
 from repro.telemetry.perfetto import (
     TRACE_FORMAT,
@@ -45,6 +46,7 @@ __all__ = [
     "collect_campaign",
     "collect_engine",
     "collect_hypervisor",
+    "collect_world_store",
     "export_traced_run",
     "load_chrome_trace",
     "load_metrics_json",
