@@ -4,13 +4,20 @@
 ``python -m repro.experiments ... --bench-json BENCH_experiments.json``
 appends one record per campaign run; this tool compares the newest
 record against the previous one and flags per-experiment wall-time
-regressions beyond a threshold (default 20 %), plus drops in the
-engine microbenchmark's ``engine.events_per_second`` beyond the same
-threshold (when both runs recorded it on the same queue backend), and
-drops in the idle-skip A/B record (``engine_idle_ab``: skip-leg
-events/s and skip/tick speedup) and in the layered-fork A/B record
-(``engine_fork_ab``: layered-leg forks/s and layered/full speedup) —
-each skipped with a note when either run predates its field.
+regressions beyond a threshold (default 20 %), plus regressions in
+every recorded microbenchmark section — engine throughput, the
+idle-skip and layered-fork A/B races, and the run-artifact store's
+write overhead.  The sections share one table-driven checker
+(:data:`CHECKS`): each section names the metrics to diff, whether
+higher or lower is better, and how to flag — relative drop beyond the
+threshold, or (for the store overhead, a number expected to hover
+near zero, where relative growth is meaningless) an absolute cap.
+Sections missing from either run are skipped with a note, so the tool
+keeps working across histories that predate a field.
+
+``--store-diff STORE_A STORE_B`` additionally prints per-scenario
+latency deltas between two run-artifact store directories (a thin
+client of :meth:`repro.store.RunStore.diff` — no simulation runs).
 
 Usage::
 
@@ -18,6 +25,7 @@ Usage::
     python benchmarks/compare_bench.py --strict              # exit 1 on regression
     python benchmarks/compare_bench.py --threshold 0.10      # stricter knob
     python benchmarks/compare_bench.py --file BENCH_ci.json
+    python benchmarks/compare_bench.py --store-diff a/ b/    # store deltas
 
 Behaviour notes:
 
@@ -36,13 +44,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, Optional, Sequence
 
 #: Baseline wall times below this are too noisy to flag (seconds).
 DEFAULT_MIN_SECONDS = 0.05
 
 #: Relative wall-time growth treated as a regression (0.20 = +20 %).
 DEFAULT_THRESHOLD = 0.20
+
+#: Absolute ceiling on the store capture overhead (0.05 = 5 % of the
+#: campaign wall time — the acceptance bar, not a relative delta).
+STORE_OVERHEAD_CAP = 0.05
 
 
 def load_runs(path: Path) -> list:
@@ -58,7 +72,7 @@ def load_runs(path: Path) -> list:
 
 def compare(previous: dict, latest: dict, *, threshold: float,
             min_seconds: float) -> "tuple[list[str], list[str]]":
-    """Render comparison lines; returns (report_lines, regressions)."""
+    """Render the wall-time comparison; returns (lines, regressions)."""
     old_times = previous.get("experiment_wall_seconds", {})
     new_times = latest.get("experiment_wall_seconds", {})
     lines: "list[str]" = []
@@ -92,118 +106,191 @@ def compare(previous: dict, latest: dict, *, threshold: float,
     return lines, regressions
 
 
-def compare_engine(previous: dict, latest: dict, *,
-                   threshold: float) -> "tuple[list[str], bool]":
-    """Diff engine throughput; returns (report_lines, regressed).
+def _dig(section: dict, path: "Sequence[str]"):
+    value = section
+    for key in path:
+        if not isinstance(value, dict):
+            return None
+        value = value.get(key)
+    return value
 
-    A *drop* in events/s beyond ``threshold`` is the regression (the
-    wall-time check flags growth; throughput moves the other way).
-    Skipped with a note when either run lacks the microbenchmark or
-    the two runs measured different queue backends.
-    """
-    old_engine = previous.get("engine") or {}
-    new_engine = latest.get("engine") or {}
-    old_eps = old_engine.get("events_per_second")
-    new_eps = new_engine.get("events_per_second")
-    if not old_eps or not new_eps:
-        return ["  engine throughput: not recorded in both runs, "
-                "skipping."], False
-    old_backend = old_engine.get("backend")
-    new_backend = new_engine.get("backend")
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One diffed number inside a bench-record section."""
+
+    label: str                          #: report-line prefix
+    path: "tuple[str, ...]"             #: keys into the section dict
+    unit: str = ""                      #: e.g. "events/s", "x", ""
+    higher_is_better: bool = True
+    #: "relative": flag a drop/growth beyond the threshold.
+    #: "cap": flag when the latest value exceeds ``cap`` (absolute).
+    #: "info": display only, never flag.
+    mode: str = "relative"
+    cap: float = 0.0
+    flag_text: str = "regression"
+    percentish: bool = False            #: render values as percentages
+
+    def _format(self, value: float) -> str:
+        if self.percentish:
+            return f"{100 * value:+.1f}%"
+        if self.unit == "x":
+            return f"{value:.1f}x"
+        return f"{value:,.0f}"
+
+    def check(self, old_section: dict, new_section: dict,
+              threshold: float) -> "tuple[list[str], bool]":
+        old_value = _dig(old_section, self.path)
+        new_value = _dig(new_section, self.path)
+        if new_value is None:
+            return [], False
+        if self.mode in ("cap", "info"):
+            line = f"  {self.label}  {self._format(float(new_value))}"
+            if old_value is not None:
+                line = (f"  {self.label}  "
+                        f"{self._format(float(old_value))} -> "
+                        f"{self._format(float(new_value))}")
+            over = self.mode == "cap" and float(new_value) > self.cap
+            if over:
+                line += (f"  << {self.flag_text} "
+                         f"(cap {self._format(self.cap)})")
+            return [line], over
+        if old_value is None or not float(old_value):
+            return [], False
+        delta = (float(new_value) - float(old_value)) / float(old_value)
+        unit = f" {self.unit}" if self.unit and self.unit != "x" else ""
+        line = (f"  {self.label}  {self._format(float(old_value))} -> "
+                f"{self._format(float(new_value))}{unit}  "
+                f"{100 * delta:+.1f}%")
+        worse = -delta if self.higher_is_better else delta
+        regressed = worse > threshold
+        if regressed:
+            line += (f"  << {self.flag_text} "
+                     f"(> {100 * threshold:.0f}% "
+                     f"{'drop' if self.higher_is_better else 'growth'})")
+        return [line], regressed
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """One bench-record section: where it lives and what to diff."""
+
+    key: str                            #: record field (e.g. "engine_ab")
+    title: str                          #: used in skip notes / warnings
+    metrics: "tuple[MetricSpec, ...]"
+    #: Optional comparability guard; returns a skip note or None.
+    comparable: "Callable[[dict, dict], Optional[str]] | None" = None
+    missing_note: str = "not recorded in both runs"
+
+    def run(self, previous: dict, latest: dict,
+            threshold: float) -> "tuple[list[str], bool]":
+        old_section = previous.get(self.key) or {}
+        new_section = latest.get(self.key) or {}
+        if not old_section or not new_section:
+            return [f"  {self.title}: {self.missing_note}, skipping."], False
+        if self.comparable is not None:
+            note = self.comparable(old_section, new_section)
+            if note is not None:
+                return [f"  {self.title}: {note}, skipping."], False
+        lines: "list[str]" = []
+        regressed = False
+        for metric in self.metrics:
+            metric_lines, metric_regressed = metric.check(
+                old_section, new_section, threshold)
+            lines.extend(metric_lines)
+            regressed = regressed or metric_regressed
+        return lines, regressed
+
+
+def _same_backend(old_section: dict, new_section: dict) -> "Optional[str]":
+    old_backend = old_section.get("backend")
+    new_backend = new_section.get("backend")
     if old_backend != new_backend:
-        return [f"  engine throughput: backends differ "
-                f"({old_backend} vs {new_backend}) — not comparable, "
-                "skipping."], False
-    delta = (float(new_eps) - float(old_eps)) / float(old_eps)
-    backend = f" [{new_backend}]" if new_backend else ""
-    line = (f"  engine{backend}  {float(old_eps):,.0f} -> "
-            f"{float(new_eps):,.0f} events/s  {100 * delta:+.1f}%")
-    regressed = delta < -threshold
-    if regressed:
-        line += f"  << throughput regression (> {100 * threshold:.0f}% drop)"
-    return [line], regressed
+        return (f"backends differ ({old_backend} vs {new_backend}) "
+                "— not comparable")
+    return None
 
 
-def compare_idle_ab(previous: dict, latest: dict, *,
-                    threshold: float) -> "tuple[list[str], bool]":
-    """Diff the idle-skip A/B microbenchmark; returns (lines, regressed).
+#: Every microbenchmark section the tool knows how to diff.
+CHECKS: "tuple[CheckSpec, ...]" = (
+    CheckSpec(
+        key="engine", title="engine throughput",
+        comparable=_same_backend,
+        metrics=(
+            MetricSpec("engine", ("events_per_second",), unit="events/s",
+                       flag_text="throughput regression"),
+        ),
+    ),
+    CheckSpec(
+        key="engine_idle_ab", title="idle-skip A/B",
+        missing_note="not recorded in both runs "
+                     "(older history predates engine_idle_ab)",
+        metrics=(
+            MetricSpec("idle-skip", ("events_per_second", "skip"),
+                       unit="events/s", flag_text="throughput regression"),
+            MetricSpec("idle-skip speedup", ("speedup",), unit="x",
+                       flag_text="speedup regression"),
+        ),
+    ),
+    CheckSpec(
+        key="engine_fork_ab", title="fork A/B",
+        missing_note="not recorded in both runs "
+                     "(older history predates engine_fork_ab)",
+        metrics=(
+            MetricSpec("layered forks", ("forks_per_second", "layered"),
+                       unit="forks/s", flag_text="throughput regression"),
+            MetricSpec("layered-fork speedup", ("speedup",), unit="x",
+                       flag_text="speedup regression"),
+        ),
+    ),
+    CheckSpec(
+        key="store_ab", title="store write A/B",
+        missing_note="not recorded in both runs "
+                     "(older history predates store_ab)",
+        metrics=(
+            # The cap is enforced on the instrumented write ratio:
+            # it hovers near zero (so a relative-growth check would
+            # flag +0.1% -> +0.3% as a 200% regression) and, unlike
+            # the whole-leg overhead, it is free of scheduler noise.
+            MetricSpec("store write ratio", ("write_ratio",),
+                       mode="cap", cap=STORE_OVERHEAD_CAP,
+                       percentish=True,
+                       flag_text="capture cost over budget"),
+            MetricSpec("store A/B overhead", ("overhead",),
+                       mode="info", percentish=True),
+        ),
+    ),
+)
 
-    Flags a drop in the skip leg's events/s or in the skip/tick
-    speedup beyond ``threshold``.  Skipped with a note when either run
-    predates the ``engine_idle_ab`` field.
+
+def store_diff(store_a: str, store_b: str) -> "tuple[list[str], bool]":
+    """Per-scenario latency deltas between two store directories.
+
+    A thin client of :meth:`repro.store.RunStore.diff`; imported
+    lazily so the bench-history diff works without the package
+    importable (e.g. a bare checkout without ``PYTHONPATH=src``).
     """
-    old_ab = previous.get("engine_idle_ab") or {}
-    new_ab = latest.get("engine_idle_ab") or {}
-    if not old_ab or not new_ab:
-        return ["  idle-skip A/B: not recorded in both runs "
-                "(older history predates engine_idle_ab), skipping."], False
-    lines: "list[str]" = []
-    regressed = False
-    old_eps = (old_ab.get("events_per_second") or {}).get("skip")
-    new_eps = (new_ab.get("events_per_second") or {}).get("skip")
-    if old_eps and new_eps:
-        delta = (float(new_eps) - float(old_eps)) / float(old_eps)
-        line = (f"  idle-skip  {float(old_eps):,.0f} -> "
-                f"{float(new_eps):,.0f} events/s  {100 * delta:+.1f}%")
-        if delta < -threshold:
-            line += (f"  << throughput regression "
-                     f"(> {100 * threshold:.0f}% drop)")
-            regressed = True
-        lines.append(line)
-    old_speedup = old_ab.get("speedup")
-    new_speedup = new_ab.get("speedup")
-    if old_speedup and new_speedup:
-        delta = ((float(new_speedup) - float(old_speedup))
-                 / float(old_speedup))
-        line = (f"  idle-skip speedup  {float(old_speedup):.1f}x -> "
-                f"{float(new_speedup):.1f}x  {100 * delta:+.1f}%")
-        if delta < -threshold:
-            line += (f"  << speedup regression "
-                     f"(> {100 * threshold:.0f}% drop)")
-            regressed = True
-        lines.append(line)
-    return lines, regressed
+    from repro.store import RunStore
 
-
-def compare_fork_ab(previous: dict, latest: dict, *,
-                    threshold: float) -> "tuple[list[str], bool]":
-    """Diff the layered-fork A/B microbenchmark; returns (lines, regressed).
-
-    Flags a drop in the layered leg's forks/s or in the layered/full
-    speedup beyond ``threshold``.  Skipped with a note when either run
-    predates the ``engine_fork_ab`` field.
-    """
-    old_ab = previous.get("engine_fork_ab") or {}
-    new_ab = latest.get("engine_fork_ab") or {}
-    if not old_ab or not new_ab:
-        return ["  fork A/B: not recorded in both runs "
-                "(older history predates engine_fork_ab), skipping."], False
-    lines: "list[str]" = []
-    regressed = False
-    old_fps = (old_ab.get("forks_per_second") or {}).get("layered")
-    new_fps = (new_ab.get("forks_per_second") or {}).get("layered")
-    if old_fps and new_fps:
-        delta = (float(new_fps) - float(old_fps)) / float(old_fps)
-        line = (f"  layered forks  {float(old_fps):,.0f} -> "
-                f"{float(new_fps):,.0f} forks/s  {100 * delta:+.1f}%")
-        if delta < -threshold:
-            line += (f"  << throughput regression "
-                     f"(> {100 * threshold:.0f}% drop)")
-            regressed = True
-        lines.append(line)
-    old_speedup = old_ab.get("speedup")
-    new_speedup = new_ab.get("speedup")
-    if old_speedup and new_speedup:
-        delta = ((float(new_speedup) - float(old_speedup))
-                 / float(old_speedup))
-        line = (f"  layered-fork speedup  {float(old_speedup):.1f}x -> "
-                f"{float(new_speedup):.1f}x  {100 * delta:+.1f}%")
-        if delta < -threshold:
-            line += (f"  << speedup regression "
-                     f"(> {100 * threshold:.0f}% drop)")
-            regressed = True
-        lines.append(line)
-    return lines, regressed
+    result = RunStore(store_a).diff(RunStore(store_b))
+    lines = [f"store diff: {store_b} minus {store_a}"]
+    for delta in result.groups:
+        experiment, scenario, load = delta.group
+        where = f"{experiment}/{scenario}"
+        if load is not None:
+            where += f"@{load:g}"
+        lines.append(
+            f"  {where}  mean {delta.mean_a:,.1f} -> {delta.mean_b:,.1f} us"
+            f"  (Δmean {delta.mean_delta:+,.1f}, Δp50 {delta.p50_delta:+,.1f},"
+            f" Δp99 {delta.p99_delta:+,.1f}, Δmax {delta.max_delta:+,.1f})"
+        )
+    for group in result.only_in_a:
+        lines.append(f"  only in {store_a}: {group}")
+    for group in result.only_in_b:
+        lines.append(f"  only in {store_b}: {group}")
+    if not result.groups:
+        lines.append("  no common (experiment, scenario, load) groups.")
+    return lines, bool(result.groups)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -222,7 +309,16 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="exit with status 1 when any experiment "
                              "regressed beyond the threshold")
+    parser.add_argument("--store-diff", nargs=2, default=None,
+                        metavar=("STORE_A", "STORE_B"),
+                        help="also print per-scenario latency deltas "
+                             "between two run-artifact store directories")
     args = parser.parse_args(argv)
+
+    if args.store_diff is not None:
+        diff_lines, _ = store_diff(*args.store_diff)
+        for line in diff_lines:
+            print(line)
 
     runs = load_runs(Path(args.file))
     if len(runs) < 2:
@@ -244,31 +340,23 @@ def main(argv: "list[str] | None" = None) -> int:
     lines, regressions = compare(previous, latest,
                                  threshold=args.threshold,
                                  min_seconds=args.min_seconds)
-    engine_lines, engine_regressed = compare_engine(
-        previous, latest, threshold=args.threshold)
-    idle_lines, idle_regressed = compare_idle_ab(
-        previous, latest, threshold=args.threshold)
-    fork_lines, fork_regressed = compare_fork_ab(
-        previous, latest, threshold=args.threshold)
-    for line in lines + engine_lines + idle_lines + fork_lines:
-        print(line)
-    failed = False
+    failed = bool(regressions)
+    warnings: "list[str]" = []
     if regressions:
-        print(f"WARNING: wall-time regression > "
-              f"{100 * args.threshold:.0f}% in: {', '.join(regressions)}")
-        failed = True
-    if engine_regressed:
-        print(f"WARNING: engine throughput dropped > "
-              f"{100 * args.threshold:.0f}%")
-        failed = True
-    if idle_regressed:
-        print(f"WARNING: idle-skip A/B regressed > "
-              f"{100 * args.threshold:.0f}%")
-        failed = True
-    if fork_regressed:
-        print(f"WARNING: layered-fork A/B regressed > "
-              f"{100 * args.threshold:.0f}%")
-        failed = True
+        warnings.append(f"WARNING: wall-time regression > "
+                        f"{100 * args.threshold:.0f}% in: "
+                        f"{', '.join(regressions)}")
+    for check in CHECKS:
+        check_lines, check_regressed = check.run(previous, latest,
+                                                 args.threshold)
+        lines.extend(check_lines)
+        if check_regressed:
+            warnings.append(f"WARNING: {check.title} regressed")
+            failed = True
+    for line in lines:
+        print(line)
+    for warning in warnings:
+        print(warning)
     if failed:
         return 1 if args.strict else 0
     print("  no regressions beyond threshold.")

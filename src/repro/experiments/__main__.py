@@ -34,6 +34,15 @@ trace-event JSON (open in ui.perfetto.dev) from a deterministic
 traced replay at this run's scale and seed, ``--progress`` streams
 per-task completion to stderr, and ``--export DIR`` also drops a
 ``manifest.json`` describing the invocation next to the CSVs.
+
+``--store DIR`` additionally persists one columnar run artifact per
+campaign task (plus a campaign index) into ``DIR`` — see
+:mod:`repro.store` — and the ``query`` subcommand answers filter /
+aggregate / diff questions over such directories without re-running
+any simulation::
+
+    python -m repro.experiments query aggregate store/ --percentiles 99.9
+    python -m repro.experiments query diff store-a/ store-b/
 """
 
 from __future__ import annotations
@@ -137,6 +146,9 @@ def _write_manifest(export_dir: str, *, names, scale, args, jobs: int,
     from pathlib import Path
 
     import repro
+    from repro.experiments.cache import source_fingerprint
+    from repro.sim.engine import resolve_idle_skip
+    from repro.sim.queue import resolve_backend_name
 
     directory = Path(export_dir)
     directory.mkdir(parents=True, exist_ok=True)
@@ -148,6 +160,12 @@ def _write_manifest(export_dir: str, *, names, scale, args, jobs: int,
         "scale": scale.name,
         "seed": args.seed,
         "jobs": jobs,
+        # Engine configuration + transitive source digest: exported
+        # CSVs carry the same fingerprint fields as store artifacts
+        # and cache entries, so the three stay joinable.
+        "queue_backend": resolve_backend_name(None),
+        "idle_skip": resolve_idle_skip(None),
+        "source_digest": source_fingerprint("repro.experiments.runner"),
         "experiment_wall_seconds": {
             name: round(seconds, 3)
             for name, seconds in experiment_seconds.items()
@@ -161,7 +179,8 @@ def _write_manifest(export_dir: str, *, names, scale, args, jobs: int,
     )
 
 
-def _export_telemetry(args, *, scale, jobs: int, cache, telemetry) -> None:
+def _export_telemetry(args, *, scale, jobs: int, cache, telemetry,
+                      store=None) -> None:
     """Serve ``--trace-out`` / ``--metrics-json``.
 
     Campaign workers run with tracing disabled, so the Chrome trace and
@@ -181,6 +200,13 @@ def _export_telemetry(args, *, scale, jobs: int, cache, telemetry) -> None:
 
     registry = MetricsRegistry() if args.metrics_json is not None else None
     replay = run_traced_fig6(irqs=scale.fig6_irqs_per_load, seed=args.seed)
+    if store is not None:
+        # The replay is the one in-process run with tracing enabled, so
+        # it is the one artifact that carries trace columns; the
+        # Chrome-trace exporter below reads those columns back (see
+        # repro.telemetry.run), making the store the trace's source of
+        # truth.
+        store.write_traced_run(replay)
     # The process-global world store holds whatever warm-world layers
     # this invocation captured in-process (campaign workers keep their
     # own stores); exporting it adds the sim_world_* sharing metrics
@@ -202,6 +228,10 @@ def _export_telemetry(args, *, scale, jobs: int, cache, telemetry) -> None:
             collect_cache(registry, cache.stats)
         if telemetry is not None:
             collect_campaign(registry, telemetry)
+        if store is not None:
+            from repro.telemetry import collect_store
+
+            collect_store(registry, write_stats=store.stats)
         registry.write_json(args.metrics_json, metadata={
             "scale": scale.name,
             "seed": args.seed,
@@ -212,6 +242,14 @@ def _export_telemetry(args, *, scale, jobs: int, cache, telemetry) -> None:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "query":
+        # The query subcommand runs no experiments — it answers from
+        # persisted artifacts — so it routes to its own parser before
+        # the experiment parser constrains the positional.
+        from repro.store.cli import main as query_main
+
+        return query_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's tables and figures.",
@@ -219,7 +257,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("experiment",
                         choices=EXPERIMENTS + tuple(ALIASES),
                         help="experiment id (see DESIGN.md), or an alias: "
-                             "'all', 'fig6' (= fig6a+fig6b+fig6c)")
+                             "'all', 'fig6' (= fig6a+fig6b+fig6c); the "
+                             "'query' subcommand (python -m "
+                             "repro.experiments query --help) answers "
+                             "aggregate/diff questions from a --store "
+                             "directory without running experiments")
     scale_group = parser.add_mutually_exclusive_group()
     scale_group.add_argument("--quick", action="store_true",
                              help="reduced IRQ counts for a fast smoke run")
@@ -252,6 +294,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--export", metavar="DIR", default=None,
                         help="write CSV data (histograms, latency series) "
                              "to this directory")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persist one columnar run artifact per "
+                             "campaign task (plus a campaign index) into "
+                             "this directory; query later with "
+                             "'python -m repro.experiments query'")
     parser.add_argument("--bench-json", metavar="FILE", default=None,
                         help="append per-experiment wall times and the "
                              "engine microbenchmark to this JSON history "
@@ -283,7 +330,7 @@ def main(argv: "list[str] | None" = None) -> int:
                              "results are byte-identical either way, only "
                              "speed differs (default: $REPRO_IDLE_SKIP or "
                              "enabled)")
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
 
     if args.queue_backend is not None:
         # Via the environment so campaign worker processes inherit it.
@@ -310,13 +357,24 @@ def main(argv: "list[str] | None" = None) -> int:
 
     progress = show_progress if args.progress else None
 
+    store = None
+    if args.store is not None:
+        from repro.store import CampaignStoreWriter, campaign_metadata
+
+        store = CampaignStoreWriter(
+            args.store,
+            campaign_metadata(scale_name=scale.name, seed=args.seed,
+                              jobs=jobs),
+        )
+
     experiment_seconds: "dict[str, float]" = {}
     for name in names:
         started = time.perf_counter()
         merged = run_campaign((name,), scale, seed=args.seed, jobs=jobs,
                               cache=cache, telemetry=telemetry,
                               progress=progress,
-                              shared_prefix=not args.no_shared_prefix)
+                              shared_prefix=not args.no_shared_prefix,
+                              store=store)
         output = _render_one(name, merged[name], args.export)
         elapsed = time.perf_counter() - started
         experiment_seconds[name] = elapsed
@@ -337,7 +395,16 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.metrics_json is not None or args.trace_out is not None:
         _export_telemetry(args, scale=scale, jobs=jobs, cache=cache,
-                          telemetry=telemetry)
+                          telemetry=telemetry, store=store)
+
+    if store is not None:
+        stats = store.finalize()
+        print(f"[store] {stats.artifacts_written} artifacts, "
+              f"{stats.rows_written} latency rows, "
+              f"{stats.bytes_written:,} bytes -> {args.store} "
+              f"({stats.write_seconds:.2f}s; "
+              f"{stats.skipped_tasks} tasks without latency data)",
+              file=sys.stderr)
 
     if args.bench_json is not None:
         from repro.analysis.benchmark import measure_analysis_speedup
@@ -347,12 +414,14 @@ def main(argv: "list[str] | None" = None) -> int:
             measure_fork_ab,
             measure_idle_ab,
         )
+        from repro.store.benchmark import measure_store_ab
 
         engine = measure_engine_throughput()
         engine_ab = measure_backend_ab()
         engine_idle_ab = measure_idle_ab()
         engine_fork_ab = measure_fork_ab()
         analysis = measure_analysis_speedup()
+        store_ab = measure_store_ab()
         record = write_bench_json(
             args.bench_json,
             scale_name=scale.name, jobs=jobs,
@@ -363,10 +432,12 @@ def main(argv: "list[str] | None" = None) -> int:
             analysis=analysis,
             cache=cache.stats if cache is not None else None,
             telemetry=telemetry,
+            store_ab=store_ab,
         )
         ab = record["engine_ab"]
         idle = record["engine_idle_ab"]
         fork = record["engine_fork_ab"]
+        store_rec = record["store_ab"]
         print(f"[bench] engine {record['engine']['events_per_second']:,.0f} "
               f"events/s (backend={record['engine']['backend']}); "
               f"A/B winner {ab['winner']} "
@@ -378,6 +449,10 @@ def main(argv: "list[str] | None" = None) -> int:
               f"{fork['branches']} branches); "
               f"analysis memoization "
               f"{record['analysis']['speedup']:.1f}x; "
+              f"store capture {store_rec['write_ratio']:+.1%} write ratio "
+              f"(A/B {store_rec['overhead']:+.1%}; "
+              f"{store_rec['artifacts']} artifacts, "
+              f"{store_rec['rows']} rows); "
               f"history appended to {args.bench_json}",
               file=sys.stderr)
     return 0

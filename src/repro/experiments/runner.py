@@ -578,6 +578,7 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
                  progress: "Callable[[int, int, CampaignTask], None] | None"
                  = None,
                  shared_prefix: bool = True,
+                 store: "Any | None" = None,
                  ) -> "dict[str, Any]":
     """Run the selected experiment campaigns, optionally in parallel.
 
@@ -604,6 +605,15 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
     (see :mod:`repro.sim.snapshot`); disabling it re-runs every task's
     prefix straight-line.  Both settings merge to byte-identical
     results.
+
+    ``store`` is any object exposing ``write_task(task, result,
+    index)`` — in practice a
+    :class:`repro.store.capture.CampaignStoreWriter` — called once per
+    task in task order, in the parent process, after every task has
+    resolved and before the merges run.  The runner never imports the
+    store package; capture is observational and results pass through
+    untouched, so merged results stay byte-identical with or without
+    it.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -624,6 +634,9 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
     else:
         results = _run_tasks_cached(tasks, jobs, cache, telemetry, progress,
                                     epoch)
+    if store is not None:
+        for index, (task, result) in enumerate(zip(tasks, results)):
+            store.write_task(task, result, index)
     merged: "dict[str, Any]" = {}
     for name in names:
         own = [result for task, result in zip(tasks, results)
@@ -643,7 +656,8 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
                      engine_fork_ab: "Any | None" = None,
                      analysis: "Any | None" = None,
                      cache: "Any | None" = None,
-                     telemetry: "CampaignTelemetry | None" = None) -> dict:
+                     telemetry: "CampaignTelemetry | None" = None,
+                     store_ab: "Any | None" = None) -> dict:
     """Append one run record to a ``BENCH_experiments.json`` history.
 
     The file holds ``{"runs": [...]}`` with one record per campaign
@@ -661,6 +675,10 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
     (``engine_fork_ab``: a
     :class:`~repro.sim.benchmark.ForkABResult` — layered vs full-copy
     forks/s, speedup, retained bytes per leg and their ratio),
+    the run-artifact store's write-overhead race (``store_ab``: a
+    :class:`~repro.store.benchmark.StoreABResult` — campaign wall time
+    with vs without per-task artifact capture, plus the capture
+    volume),
     the analysis memoization A/B (``analysis``: an
     :class:`~repro.analysis.benchmark.AnalysisBenchmarkResult`) and
     the campaign's cache statistics (``cache``: a
@@ -737,6 +755,18 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
                 name: result.retained_bytes
                 for name, result in sorted(engine_fork_ab.results.items())
             },
+        }
+    if store_ab is not None:
+        stats = store_ab.write_stats
+        record["store_ab"] = {
+            "overhead": round(store_ab.overhead, 4),
+            "write_ratio": round(store_ab.write_ratio, 4),
+            "plain_seconds": round(store_ab.plain_seconds, 4),
+            "store_seconds": round(store_ab.store_seconds, 4),
+            "artifacts": stats.artifacts_written,
+            "rows": stats.rows_written,
+            "bytes_written": stats.bytes_written,
+            "write_seconds": round(stats.write_seconds, 4),
         }
     if analysis is not None:
         record["analysis"] = {

@@ -226,6 +226,35 @@ class LatencyColumns:
         return array("d", (cycles_to_us(c - a)
                            for a, c in zip(self._arrivals, self._completions)))
 
+    def column_data(self) -> dict:
+        """Raw column export for the run-artifact store (``repro.store``).
+
+        Returns copies of the parallel arrays plus the interned source
+        table; the mode column uses the stable ``_MODES`` declaration
+        order.  Round trip via :meth:`from_column_data`.
+        """
+        return {
+            "source_ids": array("h", self._source_ids),
+            "seqs": array("q", self._seqs),
+            "arrivals": array("q", self._arrivals),
+            "completions": array("q", self._completions),
+            "modes": array("b", self._modes),
+            "cuts": array("b", self._cuts),
+            "source_names": list(self._source_names),
+        }
+
+    @classmethod
+    def from_column_data(cls, data: dict) -> "LatencyColumns":
+        """Rebuild a column store from a :meth:`column_data` export."""
+        columns = cls()
+        names = data["source_names"]
+        for sid, seq, arrival, completed_at, mode, cut in zip(
+                data["source_ids"], data["seqs"], data["arrivals"],
+                data["completions"], data["modes"], data["cuts"]):
+            columns.append(names[sid], seq, arrival, completed_at,
+                           _MODES[mode], bool(cut))
+        return columns
+
     def mode_counts(self, source: Optional[str] = None) -> dict[HandlingMode, int]:
         counts = [0] * len(_MODES)
         if source is None:

@@ -15,7 +15,7 @@ import json
 from collections import deque
 from itertools import islice
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 
 class TraceKind(enum.Enum):
@@ -86,6 +86,21 @@ class TraceRecorder:
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._dropped = 0
         self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    @classmethod
+    def from_events(cls, events: "Iterable[TraceEvent]",
+                    capacity: Optional[int] = None) -> "TraceRecorder":
+        """An enabled recorder pre-loaded with ``events``.
+
+        Used by the run-artifact store (:mod:`repro.store`) to rebuild
+        a recorder from persisted trace columns, so exporters that
+        consume a live :class:`TraceRecorder` (the Perfetto exporter)
+        can read from an artifact instead.
+        """
+        recorder = cls(enabled=True, capacity=capacity)
+        recorder._events.extend(events)
+        recorder._epoch += 1
+        return recorder
 
     @property
     def enabled(self) -> bool:

@@ -21,6 +21,7 @@ from repro.telemetry.collectors import (
     collect_campaign,
     collect_engine,
     collect_hypervisor,
+    collect_store,
     collect_world_store,
 )
 from repro.telemetry.perfetto import (
@@ -46,6 +47,7 @@ __all__ = [
     "collect_campaign",
     "collect_engine",
     "collect_hypervisor",
+    "collect_store",
     "collect_world_store",
     "export_traced_run",
     "load_chrome_trace",

@@ -125,9 +125,23 @@ def export_traced_run(run: TracedRun,
 
     Returns the number of trace events written (None when no
     ``trace_path`` was given).
+
+    The exporter is a client of the run-artifact store's columnar
+    trace representation (:mod:`repro.store.artifact`): the live
+    recorder's events round-trip through the store's
+    time/kind/data-id columns before rendering, so the Chrome trace
+    is guaranteed byte-identical whether it is produced from a live
+    run or replayed from a persisted artifact — the store tests pin
+    this.
     """
     written = None
     if trace_path is not None:
+        from repro.sim.trace import TraceRecorder
+        from repro.store.artifact import (
+            trace_events_from_columns,
+            trace_events_to_columns,
+        )
+
         meta = {
             "scenario": f"fig6{run.scenario}",
             "load": run.load,
@@ -137,9 +151,13 @@ def export_traced_run(run: TracedRun,
         }
         if metadata:
             meta.update(metadata)
+        columns, interner = trace_events_to_columns(run.trace.events)
+        recorder = TraceRecorder.from_events(
+            trace_events_from_columns(columns, interner.strings)
+        )
         written = write_chrome_trace(
             trace_path,
-            run.trace,
+            recorder,
             clock=run.clock,
             cpu_segments=run.cpu_segments,
             campaign=campaign,
