@@ -6,6 +6,8 @@ appends one record per campaign run; this tool compares the newest
 record against the previous one and flags per-experiment wall-time
 regressions beyond a threshold (default 20 %), plus regressions in
 every recorded microbenchmark section — engine throughput, the
+queue-backend race (including the array backend's dispatch-storm
+rate and its speedup over bucket), the
 idle-skip and layered-fork A/B races, and the run-artifact store's
 write overhead.  The sections share one table-driven checker
 (:data:`CHECKS`): each section names the metrics to diff, whether
@@ -211,6 +213,24 @@ def _same_backend(old_section: dict, new_section: dict) -> "Optional[str]":
     return None
 
 
+def _array_storm_recorded(old_section: dict,
+                          new_section: dict) -> "Optional[str]":
+    """Backend-aware guard for the array dispatch check.
+
+    The storm phase and the array backend arrived together; history
+    written before them has an ``engine_ab`` section without the storm
+    rates (or without an ``array`` contender), and a relative diff
+    against that would be meaningless rather than a regression.
+    """
+    for section, which in ((old_section, "previous"),
+                           (new_section, "latest")):
+        rates = section.get("storm_events_per_second")
+        if not isinstance(rates, dict) or "array" not in rates:
+            return (f"{which} run predates the array backend's "
+                    "storm fields")
+    return None
+
+
 #: Every microbenchmark section the tool knows how to diff.
 CHECKS: "tuple[CheckSpec, ...]" = (
     CheckSpec(
@@ -219,6 +239,24 @@ CHECKS: "tuple[CheckSpec, ...]" = (
         metrics=(
             MetricSpec("engine", ("events_per_second",), unit="events/s",
                        flag_text="throughput regression"),
+        ),
+    ),
+    CheckSpec(
+        key="engine_ab", title="queue-backend A/B",
+        comparable=_array_storm_recorded,
+        missing_note="not recorded in both runs "
+                     "(older history predates engine_ab)",
+        metrics=(
+            MetricSpec("array storm",
+                       ("storm_events_per_second", "array"),
+                       unit="events/s",
+                       flag_text="dispatch throughput regression"),
+            MetricSpec("array dispatch speedup",
+                       ("array_dispatch_speedup_vs_bucket",), unit="x",
+                       flag_text="speedup regression"),
+            MetricSpec("backend A/B improvement",
+                       ("improvement_vs_legacy",), mode="info",
+                       percentish=True),
         ),
     ),
     CheckSpec(

@@ -47,6 +47,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import platform
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -661,12 +662,16 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
     """Append one run record to a ``BENCH_experiments.json`` history.
 
     The file holds ``{"runs": [...]}`` with one record per campaign
-    run: per-experiment wall-clock seconds plus (when measured) the
+    run: a ``host`` block (python version, cpu count, platform — so
+    cross-machine history stays interpretable), per-experiment
+    wall-clock seconds plus (when measured) the
     engine microbenchmark's events/sec (``engine``, annotated with the
     queue backend it ran on), the interleaved queue-backend race
     (``engine_ab``: a
     :class:`~repro.sim.benchmark.BackendABResult` — winner,
-    improvement over the frozen legacy loop, per-contender events/s),
+    improvement over the frozen legacy loop, per-contender events/s
+    overall and on the dispatch-dominated storm phase, plus the array
+    backend's storm speedup over bucket),
     the idle-skip race on an idle-dominated scenario
     (``engine_idle_ab``: an
     :class:`~repro.sim.benchmark.IdleABResult` — skip vs tick events/s,
@@ -700,6 +705,14 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
         "scale": scale_name,
         "jobs": jobs,
+        # Host context: absolute events/s values are only comparable
+        # within one machine, so cross-machine history needs to say
+        # where each record came from.
+        "host": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
         "experiment_wall_seconds": {
             name: round(seconds, 3)
             for name, seconds in experiment_seconds.items()
@@ -720,7 +733,7 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
             "elapsed_seconds": round(engine.elapsed_seconds, 4),
         }
     if engine_ab is not None:
-        record["engine_ab"] = {
+        ab_record: "dict[str, Any]" = {
             "baseline": engine_ab.baseline,
             "winner": engine_ab.winner,
             "improvement_vs_legacy": round(engine_ab.improvement(), 4),
@@ -728,7 +741,15 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
                 name: round(result.events_per_second, 1)
                 for name, result in sorted(engine_ab.results.items())
             },
+            "storm_events_per_second": {
+                name: round(result.storm_events_per_second, 1)
+                for name, result in sorted(engine_ab.results.items())
+            },
         }
+        if "array" in engine_ab.results and "bucket" in engine_ab.results:
+            ab_record["array_dispatch_speedup_vs_bucket"] = round(
+                engine_ab.dispatch_speedup("array", over="bucket"), 3)
+        record["engine_ab"] = ab_record
     if engine_idle_ab is not None:
         record["engine_idle_ab"] = {
             "speedup": round(engine_idle_ab.speedup, 2),

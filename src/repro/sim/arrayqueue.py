@@ -1,0 +1,1056 @@
+"""Array-calendar queue backend: columnar event storage.
+
+The third pluggable queue backend (see :mod:`repro.sim.queue`).  Where
+``heap`` and ``bucket`` store one tuple per pending event, this backend
+stores events as *rows across parallel columns* indexed by an integer
+slot:
+
+* ``_time_col`` / ``_seq_col`` — integer columns (plain lists on the
+  hot path; :meth:`ArrayQueueEngine.column_data` exports compact
+  ``array('q')`` copies),
+* ``_flags`` — the cancelled column, a ``bytearray`` so numpy can scan
+  it zero-copy,
+* ``_cbs`` / ``_handles`` — the callback and handle columns.
+
+Slots are recycled through a freelist, so steady-state scheduling
+allocates no queue storage: a fired event's slot is pushed onto
+``_free`` and the next ``schedule`` overwrites its columns in place.
+The calendar index is the same ``time -> entries`` dict + distinct-time
+heap the bucket backend uses, but entries are bare slot integers (no
+per-event tuples).
+
+Per-call ``schedule`` still returns a fully classic, individually
+cancellable handle (:class:`ArrayEventHandle`), so the per-event path
+is roughly at parity with the bucket backend — CPython attribute-store
+costs put a hard floor under any design that must hand out a live
+handle per event.  The columnar payoff is the **volley path**:
+:meth:`ArrayQueueEngine.schedule_batch` inserts a dense same-cycle
+volley as one contiguous column block filled with C-level slice
+assignment, covered by a single :class:`ArrayBatchHandle`, and the
+monomorphic ``run()``/``run_until()`` loops dispatch the block straight
+off the callback column — no per-event handle objects, tuples, or
+attribute stores at all.  That is the dispatch-dominated fig6 low-load
+regime (dense timer storms), where this backend clears the >=1.8x
+events/s gate over ``bucket`` (see
+``repro.sim.benchmark.measure_backend_ab``).
+
+Optional numpy acceleration: compaction locates dead rows with a
+vectorized ``flatnonzero`` scan over the cancelled column and selects
+the affected calendar buckets through the time column, instead of
+walking every stored entry in the interpreter.  When numpy is absent
+everything degrades to the pure-python walk — behaviour is identical,
+only compaction cost changes.
+
+Ordering is byte-identical to the other backends — same ``(time,
+seq)`` FIFO order, same counters, same snapshot digests — pinned by
+``tests/test_queue_backends.py``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import (COMPACTION_FLOOR, SimulationEngine,
+                              SimulationError)
+from repro.sim.events import EventHandle
+
+try:  # pragma: no cover - exercised via the numpy-absent test matrix
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Minimum column capacity before the numpy compaction scan is worth
+#: the view setup; below this the python walk wins outright.
+NUMPY_COMPACT_MIN = 1024
+
+
+class ArrayEventHandle(EventHandle):
+    """Classic event handle wired to the cancelled column.
+
+    Carries the slot of its column row so :meth:`cancel` can flag the
+    row dead without the dispatch loop ever loading the handle for
+    dead entries.  State semantics (``pending``/``fired``/
+    ``cancelled``) are exactly :class:`EventHandle`'s — the handle owns
+    its lifecycle bits, so slot recycling never aliases a held handle.
+    """
+
+    __slots__ = ("_slot",)
+
+    def cancel(self) -> None:
+        """Cancel the event.  Cancelling an already-fired event is a no-op."""
+        if self._cancelled or self._fired:
+            return
+        self._cancelled = True
+        engine = self._engine
+        if engine is not None:
+            slot = self._slot
+            if slot >= 0:
+                engine._flags[slot] = 1
+            engine._event_cancelled()
+
+
+class ArrayBatchHandle:
+    """Block-backed flavour of :class:`repro.sim.events.BatchHandle`.
+
+    One object covers a whole contiguous column block; the volley
+    cancels as a unit.  Public surface matches the generic fallback
+    wrapper (``time``/``label``/``count``/``cancel()``/``pending``/
+    ``fired``/``cancelled``), and the observable state transitions are
+    equivalent: ``fired`` only once every volley event executed,
+    ``cancelled`` once a cancel reached at least one unfired event.
+    """
+
+    __slots__ = ("time", "label", "count", "_engine", "_start",
+                 "_remaining", "_cancelled", "_fired", "_draining",
+                 "_released")
+
+    def cancel(self) -> None:
+        """Cancel every volley event that has not fired yet."""
+        if self._cancelled or self._fired:
+            return
+        self._cancelled = True
+        if self._draining:
+            # The dispatch loop is inside this very block; it sees the
+            # flag after the in-flight callback returns and settles the
+            # accounting for the undispatched remainder itself.
+            return
+        engine = self._engine
+        remaining = self._remaining
+        if engine is not None and remaining:
+            engine._batch_cancelled(self, remaining)
+
+    @property
+    def pending(self) -> bool:
+        """True while at least one volley event is still waiting."""
+        return not self._cancelled and not self._fired
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` reached at least one unfired event."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once every volley event has executed."""
+        return self._fired
+
+    def __repr__(self) -> str:
+        state = ("cancelled" if self._cancelled
+                 else ("fired" if self._fired else "pending"))
+        return (f"ArrayBatchHandle(t={self.time}, count={self.count}, "
+                f"{self.label or 'batch'}, {state})")
+
+
+def _new_batch_handle(engine, time: int, label: Optional[str], count: int,
+                      start: int) -> ArrayBatchHandle:
+    handle = ArrayBatchHandle.__new__(ArrayBatchHandle)
+    handle.time = time
+    handle.label = label
+    handle.count = count
+    handle._engine = engine
+    handle._start = start
+    handle._remaining = count
+    handle._cancelled = False
+    handle._fired = False
+    handle._draining = False
+    handle._released = False
+    return handle
+
+
+class ArrayQueueEngine(SimulationEngine):
+    """Columnar calendar-queue engine with an allocation-free volley path.
+
+    Calendar entries are either a bare slot integer (one per-call
+    event) or a ``(start, count, batch_handle)`` block covering a
+    contiguous column range (one same-cycle volley); a bucket value is
+    a single entry or a list of them, exactly like the bucket
+    backend's tuple-or-list scheme.
+    """
+
+    backend_name = "array"
+
+    __slots__ = ("_time_col", "_seq_col", "_flags", "_cbs", "_handles",
+                 "_free", "_free_blocks", "_buckets", "_times",
+                 "_dirty_times", "_dead_hint", "_dead_blocks")
+
+    def __init__(self, backend: Optional[str] = None,
+                 idle_skip: Optional[bool] = None):
+        super().__init__(idle_skip=idle_skip)
+        self._time_col: list[int] = []
+        self._seq_col: list[int] = []
+        self._flags = bytearray()
+        self._cbs: list = []
+        self._handles: list = []
+        self._free: list[int] = []
+        # Contiguous volley blocks recycle as whole ranges, keyed by
+        # capacity; compaction folds unused blocks back into _free.
+        self._free_blocks: dict[int, list[int]] = {}
+        self._buckets: dict = {}
+        self._times: list[int] = []
+        self._dirty_times: set[int] = set()
+        self._dead_hint = 0
+        # (time, handle) of blocks cancelled before dispatch, so the
+        # numpy compaction path can find their buckets without a full
+        # walk (block rows never set the cancelled column).
+        self._dead_blocks: list = []
+
+    # -- scheduling (hot) ----------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], Any],
+                 label: Optional[str] = None, *,
+                 _push=heappush, _new=ArrayEventHandle.__new__,
+                 _cls=ArrayEventHandle) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule an event in the past (delay={delay})")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = _new(_cls)
+        handle.time = time
+        handle.seq = seq
+        handle.callback = callback
+        handle.label = label
+        handle._cancelled = False
+        handle._fired = False
+        handle._engine = self
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._time_col[slot] = time
+            self._seq_col[slot] = seq
+            self._cbs[slot] = callback
+            self._handles[slot] = handle
+        else:
+            slot = len(self._cbs)
+            self._time_col.append(time)
+            self._seq_col.append(seq)
+            self._flags.append(0)
+            self._cbs.append(callback)
+            self._handles.append(handle)
+        handle._slot = slot
+        self._pending += 1
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = slot
+            _push(self._times, time)
+        elif type(bucket) is list:
+            bucket.append(slot)
+        else:
+            buckets[time] = [bucket, slot]
+        return handle
+
+    def schedule_at(self, time: int, callback: Callable[[], Any],
+                    label: Optional[str] = None, *,
+                    _push=heappush, _new=ArrayEventHandle.__new__,
+                    _cls=ArrayEventHandle) -> EventHandle:
+        """Schedule ``callback`` to run at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event in the past (t={time}, now={self._now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        handle = _new(_cls)
+        handle.time = time
+        handle.seq = seq
+        handle.callback = callback
+        handle.label = label
+        handle._cancelled = False
+        handle._fired = False
+        handle._engine = self
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._time_col[slot] = time
+            self._seq_col[slot] = seq
+            self._cbs[slot] = callback
+            self._handles[slot] = handle
+        else:
+            slot = len(self._cbs)
+            self._time_col.append(time)
+            self._seq_col.append(seq)
+            self._flags.append(0)
+            self._cbs.append(callback)
+            self._handles.append(handle)
+        handle._slot = slot
+        self._pending += 1
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = slot
+            _push(self._times, time)
+        elif type(bucket) is list:
+            bucket.append(slot)
+        else:
+            buckets[time] = [bucket, slot]
+        return handle
+
+    def schedule_batch(self, delay: int, callbacks,
+                       label: Optional[str] = None, *,
+                       _push=heappush):
+        """Insert a same-cycle volley as one contiguous column block.
+
+        Sequence numbers are consecutive in list order — byte-identical
+        FIFO placement to the generic per-call fallback — but storage
+        is filled with C-level slice assignment and the whole volley is
+        covered by a single :class:`ArrayBatchHandle`, so steady-state
+        volleys neither allocate per-event objects nor store per-event
+        attributes.  Volleys of fewer than two callbacks take the
+        generic path (identical observable semantics, nothing to
+        amortize).
+        """
+        callbacks = list(callbacks)
+        count = len(callbacks)
+        if count < 2:
+            return SimulationEngine.schedule_batch(self, delay, callbacks,
+                                                   label)
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule an event in the past (delay={delay})")
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + count
+        cbs = self._cbs
+        starts = self._free_blocks.get(count)
+        if starts:
+            start = starts.pop()
+            end = start + count
+            cbs[start:end] = callbacks
+            self._seq_col[start:end] = range(seq, seq + count)
+            self._time_col[start:end] = [time] * count
+            # Block rows never set the cancelled column (the batch
+            # handle carries liveness), so flags stay zero by invariant
+            # and need no reset here.
+        else:
+            start = len(cbs)
+            cbs.extend(callbacks)
+            self._seq_col.extend(range(seq, seq + count))
+            self._time_col.extend([time] * count)
+            self._flags.extend(bytes(count))
+            self._handles.extend([None] * count)
+        handle = _new_batch_handle(self, time, label, count, start)
+        self._pending += count
+        entry = (start, count, handle)
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = entry
+            _push(self._times, time)
+        elif type(bucket) is list:
+            bucket.append(entry)
+        else:
+            buckets[time] = [bucket, entry]
+        return handle
+
+    def _make_handle(self, time: int, seq: int, callback: Callable[[], Any],
+                     label: Optional[str]) -> EventHandle:
+        # Cold out-of-band paths (stop sentinels, snapshot restore)
+        # must also hand out column-wired handles, or their cancels
+        # would never reach the cancelled column.
+        handle = ArrayEventHandle(time, seq, callback, label, self)
+        handle._slot = -1
+        return handle
+
+    def _insert_entry(self, time: int, seq: int, callback: Callable[[], Any],
+                      handle: EventHandle) -> None:
+        # Cold path: sentinel/restored seqs arrive out of order, so the
+        # bucket is flagged for a one-time sort before it drains.
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._time_col[slot] = time
+            self._seq_col[slot] = seq
+            self._cbs[slot] = callback
+            self._handles[slot] = handle
+        else:
+            slot = len(self._cbs)
+            self._time_col.append(time)
+            self._seq_col.append(seq)
+            self._flags.append(0)
+            self._cbs.append(callback)
+            self._handles.append(handle)
+        handle._slot = slot
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = slot
+            heappush(self._times, time)
+            return
+        if self._running and time == self._now:
+            # Same conservative refusal as the bucket backend: the
+            # bucket at the current timestamp may be mid-drain and a
+            # sort could not reorder its not-yet-dispatched tail.
+            raise SimulationError(
+                f"cannot insert an out-of-band event into the currently "
+                f"dispatching timestamp (t={time})"
+            )
+        if type(bucket) is list:
+            bucket.append(slot)
+        else:
+            buckets[time] = [bucket, slot]
+        self._dirty_times.add(time)
+
+    def _entry_seq(self, entry) -> int:
+        """Sort key for dirty buckets: an entry's first sequence number."""
+        if type(entry) is int:
+            return self._seq_col[entry]
+        return self._seq_col[entry[0]]
+
+    # -- cancellation / compaction -------------------------------------
+
+    def _event_cancelled(self) -> None:
+        pending = self._pending - 1
+        self._pending = pending
+        self._cancelled_count += 1
+        dead = self._dead_hint + 1
+        self._dead_hint = dead
+        if dead > COMPACTION_FLOOR and dead > pending:
+            self._compact()
+
+    def _batch_cancelled(self, handle: ArrayBatchHandle,
+                         remaining: int) -> None:
+        """Account a volley cancelled before (or between) dispatches."""
+        pending = self._pending - remaining
+        self._pending = pending
+        self._cancelled_count += remaining
+        dead = self._dead_hint + remaining
+        self._dead_hint = dead
+        self._dead_blocks.append((handle.time, handle))
+        if dead > COMPACTION_FLOOR and dead > pending:
+            self._compact()
+
+    def _release_block(self, handle: ArrayBatchHandle) -> None:
+        """Recycle a block's column range (idempotent)."""
+        if handle._released:
+            return
+        handle._released = True
+        self._free_blocks.setdefault(handle.count, []).append(handle._start)
+
+    def _purge_entry(self, entry) -> bool:
+        """Free a dead entry's storage; True when the entry was dead."""
+        if type(entry) is int:
+            if self._flags[entry]:
+                self._flags[entry] = 0
+                self._cbs[entry] = None
+                self._handles[entry] = None
+                self._free.append(entry)
+                return True
+            return False
+        handle = entry[2]
+        if handle._cancelled:
+            self._release_block(handle)
+            return True
+        return False
+
+    def _compact(self) -> None:
+        """Drop dead rows and fold idle blocks back into the freelist.
+
+        With numpy, dead per-call rows are located by a vectorized
+        ``flatnonzero`` scan over the cancelled column and only the
+        calendar buckets their time column points at are visited —
+        O(dead + affected buckets) interpreter work instead of a walk
+        over every stored entry.  The pure-python fallback walks all
+        buckets, exactly like the bucket backend.  The bucket at the
+        current timestamp is skipped while running (its drain index is
+        a loop local); its dead entries keep their flags and are caught
+        by the drain itself or the next compaction.
+        """
+        buckets = self._buckets
+        draining = self._now if self._running else None
+        if _np is not None and len(self._flags) >= NUMPY_COMPACT_MIN:
+            # bytes() snapshots the column so the ndarray never holds a
+            # buffer export over the live (resizable) bytearray.
+            dead_slots = _np.flatnonzero(
+                _np.frombuffer(bytes(self._flags), dtype=_np.uint8)).tolist()
+            time_col = self._time_col
+            affected = {time_col[slot] for slot in dead_slots}
+            affected.update(t for t, _handle in self._dead_blocks)
+            candidates = [t for t in affected
+                          if t != draining and t in buckets]
+        else:
+            candidates = [t for t in buckets if t != draining]
+        for t in candidates:
+            bucket = buckets[t]
+            if type(bucket) is not list:
+                if self._purge_entry(bucket):
+                    del buckets[t]
+                continue
+            bucket[:] = [entry for entry in bucket
+                         if not self._purge_entry(entry)]
+            if not bucket:
+                del buckets[t]
+        self._dead_blocks.clear()
+        # Memory hygiene: free rows keep no references to dead
+        # callbacks/handles across the (rare) compactions.
+        cbs = self._cbs
+        handles = self._handles
+        for slot in self._free:
+            cbs[slot] = None
+            handles[slot] = None
+        # Idle volley blocks become ordinary free slots, so capacity is
+        # shared across volley widths and per-call load.
+        for count, starts in self._free_blocks.items():
+            for start in starts:
+                end = start + count
+                cbs[start:end] = [None] * count
+                handles[start:end] = [None] * count
+                self._free.extend(range(start, end))
+        self._free_blocks.clear()
+        times = self._times
+        times[:] = list(buckets)
+        heapify(times)
+        self._dirty_times.intersection_update(buckets)
+        self._dead_hint = 0
+        self._compactions += 1
+
+    # -- dispatch (hot) ------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None, *,
+            _pop=heappop, _push=heappush) -> int:
+        """Run until the event queue is empty (or ``max_events`` fired).
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        self._running = True
+        self._stop_requested = False
+        times = self._times
+        buckets = self._buckets
+        get = buckets.get
+        dirty = self._dirty_times
+        flags = self._flags
+        cbs = self._cbs
+        handles = self._handles
+        free_append = self._free.append
+        now = self._now
+        batches = 0
+        bounded = max_events is not None
+        self._skip_allowed = not bounded
+        self._run_bound = None
+        try:
+            while times:
+                if bounded and executed == max_events:
+                    break
+                t = _pop(times)
+                bucket = get(t)
+                if bucket is None:
+                    continue        # stale duplicate timestamp
+                kind = type(bucket)
+                if kind is int:
+                    # Singleton fast path (mirrors the bucket backend:
+                    # the dict entry is removed *before* the callback).
+                    slot = bucket
+                    del buckets[t]
+                    if flags[slot]:
+                        flags[slot] = 0
+                        free_append(slot)
+                        continue
+                    if t != now:
+                        self._now = now = t
+                        batches += 1
+                    handle = handles[slot]
+                    callback = cbs[slot]
+                    free_append(slot)
+                    handle._fired = True
+                    executed += 1
+                    callback()
+                    if self._stop_requested:
+                        break
+                    continue
+                if kind is not list:
+                    # Lone volley block: promote to a live list so
+                    # same-cycle follow-ups appended by its callbacks
+                    # drain in this very batch, exactly like the
+                    # fallback path's k-entry list bucket.
+                    bucket = [bucket]
+                    buckets[t] = bucket
+                if dirty and t in dirty:
+                    bucket.sort(key=self._entry_seq)
+                    dirty.discard(t)
+                # Skip (and free) leading dead entries before touching
+                # the clock: an all-cancelled bucket must not advance
+                # time.
+                i = 0
+                n = len(bucket)
+                while i < n:
+                    entry = bucket[i]
+                    if type(entry) is int:
+                        if not flags[entry]:
+                            break
+                        flags[entry] = 0
+                        free_append(entry)
+                    elif not entry[2]._cancelled:
+                        break
+                    else:
+                        self._release_block(entry[2])
+                    i += 1
+                if i == n:
+                    del buckets[t]
+                    continue
+                if t != now:
+                    self._now = now = t
+                    batches += 1
+                # The bucket's timestamp is already popped off the
+                # times heap, so its co-timestamped tail is invisible
+                # to _next_pending: close the skip window for the
+                # duration of the batch drain.
+                self._in_batch = True
+                while i < n:
+                    entry = bucket[i]
+                    i += 1
+                    if type(entry) is int:
+                        slot = entry
+                        if flags[slot]:
+                            flags[slot] = 0
+                            free_append(slot)
+                            if i == n:
+                                n = len(bucket)   # callbacks may append
+                            continue
+                        handle = handles[slot]
+                        callback = cbs[slot]
+                        free_append(slot)
+                        handle._fired = True
+                        executed += 1
+                        callback()
+                        if (self._stop_requested
+                                or (bounded and executed == max_events)):
+                            break
+                        if i == n:
+                            n = len(bucket)
+                        continue
+                    start, count, bh = entry
+                    if bh._cancelled:
+                        self._release_block(bh)
+                        if i == n:
+                            n = len(bucket)
+                        continue
+                    # Volley block: dispatch straight off the callback
+                    # column — no per-event objects or attribute stores.
+                    j = start
+                    end = start + count
+                    bh._draining = True
+                    while j < end:
+                        callback = cbs[j]
+                        j += 1
+                        executed += 1
+                        callback()
+                        if (self._stop_requested or bh._cancelled
+                                or (bounded and executed == max_events)):
+                            break
+                    bh._draining = False
+                    if bh._cancelled:
+                        remaining = end - j
+                        if remaining:
+                            # A volley callback cancelled its own
+                            # block; the undispatched remainder is
+                            # settled here (cancel() deferred to us).
+                            self._pending -= remaining
+                            self._cancelled_count += remaining
+                        self._release_block(bh)
+                    elif j < end:
+                        # Suspended mid-block: keep the undispatched
+                        # tail as a fragment at this entry's position.
+                        bh._remaining = end - j
+                        i -= 1
+                        bucket[i] = (j, end - j, bh)
+                        break
+                    else:
+                        bh._remaining = 0
+                        bh._fired = True
+                        self._release_block(bh)
+                    if (self._stop_requested
+                            or (bounded and executed == max_events)):
+                        break
+                    if i == n:
+                        n = len(bucket)
+                self._in_batch = False
+                if i < len(bucket):
+                    # Suspended mid-bucket: keep the undispatched tail
+                    # and requeue the timestamp.
+                    del bucket[:i]
+                    _push(times, t)
+                else:
+                    del buckets[t]
+                if self._stop_requested:
+                    break
+        finally:
+            self._running = False
+            self._skip_allowed = False
+            self._in_batch = False
+            self._events_executed += executed
+            self._pending -= executed
+            self._dispatch_batches += batches
+        return executed
+
+    def run_until(self, time: int, *, _pop=heappop, _push=heappush) -> int:
+        """Run all events with timestamps <= ``time``; advance clock to ``time``.
+
+        Returns the number of events executed by this call.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards (t={time}, now={self._now})")
+        executed = 0
+        self._running = True
+        self._stop_requested = False
+        times = self._times
+        buckets = self._buckets
+        get = buckets.get
+        dirty = self._dirty_times
+        flags = self._flags
+        cbs = self._cbs
+        handles = self._handles
+        free_append = self._free.append
+        now = self._now
+        batches = 0
+        self._skip_allowed = True
+        self._run_bound = time
+        try:
+            while times:
+                t = times[0]
+                if t > time:
+                    break
+                _pop(times)
+                bucket = get(t)
+                if bucket is None:
+                    continue
+                kind = type(bucket)
+                if kind is int:
+                    slot = bucket
+                    del buckets[t]
+                    if flags[slot]:
+                        flags[slot] = 0
+                        free_append(slot)
+                        continue
+                    if t != now:
+                        self._now = now = t
+                        batches += 1
+                    handle = handles[slot]
+                    callback = cbs[slot]
+                    free_append(slot)
+                    handle._fired = True
+                    executed += 1
+                    callback()
+                    if self._stop_requested:
+                        break
+                    continue
+                if kind is not list:
+                    bucket = [bucket]
+                    buckets[t] = bucket
+                if dirty and t in dirty:
+                    bucket.sort(key=self._entry_seq)
+                    dirty.discard(t)
+                i = 0
+                n = len(bucket)
+                while i < n:
+                    entry = bucket[i]
+                    if type(entry) is int:
+                        if not flags[entry]:
+                            break
+                        flags[entry] = 0
+                        free_append(entry)
+                    elif not entry[2]._cancelled:
+                        break
+                    else:
+                        self._release_block(entry[2])
+                    i += 1
+                if i == n:
+                    del buckets[t]
+                    continue
+                if t != now:
+                    self._now = now = t
+                    batches += 1
+                self._in_batch = True
+                while i < n:
+                    entry = bucket[i]
+                    i += 1
+                    if type(entry) is int:
+                        slot = entry
+                        if flags[slot]:
+                            flags[slot] = 0
+                            free_append(slot)
+                            if i == n:
+                                n = len(bucket)
+                            continue
+                        handle = handles[slot]
+                        callback = cbs[slot]
+                        free_append(slot)
+                        handle._fired = True
+                        executed += 1
+                        callback()
+                        if self._stop_requested:
+                            break
+                        if i == n:
+                            n = len(bucket)
+                        continue
+                    start, count, bh = entry
+                    if bh._cancelled:
+                        self._release_block(bh)
+                        if i == n:
+                            n = len(bucket)
+                        continue
+                    j = start
+                    end = start + count
+                    bh._draining = True
+                    while j < end:
+                        callback = cbs[j]
+                        j += 1
+                        executed += 1
+                        callback()
+                        if self._stop_requested or bh._cancelled:
+                            break
+                    bh._draining = False
+                    if bh._cancelled:
+                        remaining = end - j
+                        if remaining:
+                            self._pending -= remaining
+                            self._cancelled_count += remaining
+                        self._release_block(bh)
+                    elif j < end:
+                        bh._remaining = end - j
+                        i -= 1
+                        bucket[i] = (j, end - j, bh)
+                        break
+                    else:
+                        bh._remaining = 0
+                        bh._fired = True
+                        self._release_block(bh)
+                    if self._stop_requested:
+                        break
+                    if i == n:
+                        n = len(bucket)
+                self._in_batch = False
+                if i < len(bucket):
+                    del bucket[:i]
+                    _push(times, t)
+                else:
+                    del buckets[t]
+                if self._stop_requested:
+                    break
+        finally:
+            self._running = False
+            self._skip_allowed = False
+            self._in_batch = False
+            self._events_executed += executed
+            self._pending -= executed
+            self._dispatch_batches += batches
+        if not self._stop_requested:
+            self._now = max(self._now, time)
+        return executed
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns True if an event was executed, False if the queue was
+        exhausted (only cancelled or no events remained).
+        """
+        times = self._times
+        buckets = self._buckets
+        dirty = self._dirty_times
+        flags = self._flags
+        while times:
+            t = times[0]
+            bucket = buckets.get(t)
+            if bucket is None:
+                heappop(times)
+                continue
+            kind = type(bucket)
+            if kind is int:
+                heappop(times)
+                del buckets[t]
+                slot = bucket
+                if flags[slot]:
+                    flags[slot] = 0
+                    self._free.append(slot)
+                    continue
+                return self._step_fire(t, self._handles[slot],
+                                       self._cbs[slot], slot)
+            if kind is not list:
+                start, count, bh = bucket
+                if bh._cancelled:
+                    heappop(times)
+                    del buckets[t]
+                    self._release_block(bh)
+                    continue
+                if count == 1:
+                    heappop(times)
+                    del buckets[t]
+                else:
+                    buckets[t] = (start + 1, count - 1, bh)
+                    bh._remaining = count - 1
+                return self._step_fire_block(t, bh, start, count)
+            if t in dirty:
+                bucket.sort(key=self._entry_seq)
+                dirty.discard(t)
+            entry = bucket[0]
+            if type(entry) is int:
+                del bucket[0]
+                if not bucket:
+                    heappop(times)
+                    del buckets[t]
+                slot = entry
+                if flags[slot]:
+                    flags[slot] = 0
+                    self._free.append(slot)
+                    continue
+                return self._step_fire(t, self._handles[slot],
+                                       self._cbs[slot], slot)
+            start, count, bh = entry
+            if bh._cancelled:
+                del bucket[0]
+                if not bucket:
+                    heappop(times)
+                    del buckets[t]
+                self._release_block(bh)
+                continue
+            if count == 1:
+                del bucket[0]
+                if not bucket:
+                    heappop(times)
+                    del buckets[t]
+            else:
+                bucket[0] = (start + 1, count - 1, bh)
+                bh._remaining = count - 1
+            return self._step_fire_block(t, bh, start, count)
+        return False
+
+    def _step_fire(self, t: int, handle, callback, slot: int) -> bool:
+        self._free.append(slot)
+        if t != self._now:
+            self._now = t
+            self._dispatch_batches += 1
+        handle._fired = True
+        self._pending -= 1
+        self._events_executed += 1
+        callback()
+        return True
+
+    def _step_fire_block(self, t: int, bh, start: int, count: int) -> bool:
+        callback = self._cbs[start]
+        if count == 1:
+            bh._remaining = 0
+            bh._fired = True
+            self._release_block(bh)
+        if t != self._now:
+            self._now = t
+            self._dispatch_batches += 1
+        self._pending -= 1
+        self._events_executed += 1
+        callback()
+        return True
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def heap_depth(self) -> int:
+        depth = 0
+        for bucket in self._buckets.values():
+            kind = type(bucket)
+            if kind is int:
+                depth += 1
+            elif kind is not list:
+                depth += bucket[1]
+            else:
+                for entry in bucket:
+                    depth += 1 if type(entry) is int else entry[1]
+        return depth
+
+    @property
+    def numpy_accelerated(self) -> bool:
+        """Whether the numpy compaction-scan path is active."""
+        return _np is not None
+
+    def column_data(self) -> dict:
+        """Compact ``array('q')``/bytes copies of the columns.
+
+        Diagnostic export (full column capacity, including recycled
+        rows): the integer columns as typed arrays, the cancelled
+        column as bytes, plus capacity/freelist occupancy.
+        """
+        free_slots = len(self._free)
+        block_slots = sum(count * len(starts) for count, starts
+                          in self._free_blocks.items())
+        return {
+            "time": array("q", self._time_col),
+            "seq": array("q", self._seq_col),
+            "cancelled": bytes(self._flags),
+            "capacity": len(self._cbs),
+            "free_slots": free_slots + block_slots,
+        }
+
+    def _next_pending(self) -> Optional[EventHandle]:
+        times = self._times
+        buckets = self._buckets
+        dirty = self._dirty_times
+        flags = self._flags
+        while times:
+            t = times[0]
+            bucket = buckets.get(t)
+            if bucket is None:
+                heappop(times)
+                continue
+            kind = type(bucket)
+            if kind is int:
+                if flags[bucket]:
+                    heappop(times)
+                    del buckets[t]
+                    flags[bucket] = 0
+                    self._free.append(bucket)
+                    continue
+                return self._handles[bucket]
+            if kind is not list:
+                bh = bucket[2]
+                if bh._cancelled:
+                    heappop(times)
+                    del buckets[t]
+                    self._release_block(bh)
+                    continue
+                return bh
+            if t in dirty:
+                bucket.sort(key=self._entry_seq)
+                dirty.discard(t)
+            while bucket:
+                entry = bucket[0]
+                if type(entry) is int:
+                    if flags[entry]:
+                        flags[entry] = 0
+                        self._free.append(entry)
+                        del bucket[0]
+                        continue
+                    return self._handles[entry]
+                bh = entry[2]
+                if bh._cancelled:
+                    self._release_block(bh)
+                    del bucket[0]
+                    continue
+                return bh
+            heappop(times)
+            del buckets[t]
+        return None
+
+    def live_entries(self) -> list[tuple[int, int, EventHandle]]:
+        entries = []
+        flags = self._flags
+        seq_col = self._seq_col
+        handles = self._handles
+        for t, bucket in self._buckets.items():
+            if type(bucket) is not list:
+                bucket = (bucket,)
+            for entry in bucket:
+                if type(entry) is int:
+                    if not flags[entry]:
+                        entries.append((t, seq_col[entry], handles[entry]))
+                else:
+                    start, count, bh = entry
+                    if not bh._cancelled:
+                        entries.extend((t, seq_col[j], bh)
+                                       for j in range(start, start + count))
+        # (time, seq) pairs are unique, so plain tuple sort never
+        # reaches the (uncomparable-in-general) handle element.
+        entries.sort()
+        return entries

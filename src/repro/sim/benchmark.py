@@ -2,14 +2,19 @@
 
 A deterministic, self-contained workload that measures how many event
 callbacks per second :class:`~repro.sim.engine.SimulationEngine` can
-dispatch.  Two phases exercise the two heap regimes real experiment
+dispatch.  Three phases exercise the queue regimes real experiment
 runs hit:
 
 * **chain** — a self-rescheduling tick chain with a near-empty heap,
   the regime of a single replayed activation trace;
 * **pool** — a fixed population of outstanding events (default 64)
   with constant schedule/fire churn, the regime of many concurrent
-  timers/interpose windows where per-comparison heap costs dominate.
+  timers/interpose windows where per-comparison heap costs dominate;
+* **storm** — dense same-cycle timer volleys inserted via
+  ``schedule_batch`` (idle-skip irrelevant: every cycle is busy), the
+  dispatch-dominated fig6 low-load regime where per-event allocation
+  in the dispatch loop is the entire cost.  This is the leg the
+  columnar ``array`` backend is gated on (>=1.8x over ``bucket``).
 
 Both phases also schedule-and-immediately-cancel decoy events so the
 lazy-deletion path (pop-and-skip in the run loop) is part of what is
@@ -138,6 +143,7 @@ class EngineBenchmarkResult:
     elapsed_seconds: float
     chain_events_per_second: float = 0.0
     pool_events_per_second: float = 0.0
+    storm_events_per_second: float = 0.0
 
     @property
     def events_per_second(self) -> float:
@@ -210,6 +216,50 @@ def _run_pool(events: int, pool_size: int, cancel_every: int,
     return engine.events_executed, cancelled[0], elapsed
 
 
+def _run_volley_storm(events: int, width: int, period: int,
+                      engine_factory: Callable[[], object] = SimulationEngine
+                      ) -> tuple[int, float]:
+    """Dense same-cycle timer storms: the dispatch-dominated fig6 regime.
+
+    A driver fires every ``period`` cycles and lobs a ``width``-wide
+    same-cycle volley through ``schedule_batch``; engines without the
+    volley API (the legacy baseline) fall back to one ``schedule`` call
+    per event, which is exactly what their users would have to write.
+    """
+    engine = engine_factory()
+    cycles = max(1, events // width)
+    remaining = [cycles]
+
+    def noop() -> None:
+        pass
+
+    volley = [noop] * width
+    batch = getattr(engine, "schedule_batch", None)
+    if batch is not None:
+        def driver() -> None:
+            batch(0, volley, "storm")
+            left = remaining[0] - 1
+            remaining[0] = left
+            if left:
+                engine.schedule(period, driver, "driver")
+    else:
+        schedule = engine.schedule
+        def driver() -> None:
+            for callback in volley:
+                schedule(0, callback)
+            left = remaining[0] - 1
+            remaining[0] = left
+            if left:
+                schedule(period, driver)
+
+    engine.schedule(1, driver)
+    gc.collect()
+    started = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - started
+    return engine.events_executed, elapsed
+
+
 def measure_engine_throughput(events: int = 200_000,
                               cancel_every: int = 4,
                               repeats: int = 3,
@@ -271,23 +321,40 @@ class BackendABResult:
         contender = self.results[name or self.winner].events_per_second
         return contender / base - 1.0
 
+    def dispatch_speedup(self, name: Optional[str] = None,
+                         over: str = "bucket") -> float:
+        """Storm-phase events/s ratio of ``name`` (default: the winner)
+        over the ``over`` backend — e.g. ``1.8`` for 1.8x faster on
+        the dispatch-dominated microbenchmark."""
+        base = self.results[over].storm_events_per_second
+        if base <= 0:
+            return 0.0
+        contender = self.results[name or self.winner].storm_events_per_second
+        return contender / base
+
 
 def measure_backend_ab(events: int = 200_000,
                        cancel_every: int = 4,
                        repeats: int = 3,
-                       pool_size: int = 64) -> BackendABResult:
+                       pool_size: int = 64,
+                       storm_width: int = 32,
+                       storm_period: int = 8) -> BackendABResult:
     """Race every queue backend against the frozen legacy loop.
 
-    All contenders run the same chain+pool workload, interleaved
+    All contenders run the same chain+pool+storm workload, interleaved
     round-robin within each repeat so host interference lands on
     everyone alike — the only comparison that reliably resolves
     10–30% deltas on a shared machine (back-to-back separate processes
     vary by more than that).  Best-of-``repeats`` per contender, same
-    rationale as :func:`measure_engine_throughput`.
+    rationale as :func:`measure_engine_throughput`.  The storm phase
+    is the dispatch-dominated fig6 leg the columnar backend is gated
+    on; its rate is reported separately
+    (``storm_events_per_second`` / :meth:`BackendABResult.dispatch_speedup`)
+    so the balanced phases do not dilute the ratio.
     """
     if events <= 0:
         raise ValueError(f"events must be positive, got {events}")
-    per_phase = max(1, events // 2)
+    per_phase = max(1, events // 3)
     factories: dict[str, Callable[[], object]] = {"legacy": _LegacyHeapEngine}
     for name, backend_cls in QUEUE_BACKENDS.items():
         factories[name] = backend_cls
@@ -298,12 +365,15 @@ def measure_backend_ab(events: int = 200_000,
                 per_phase, cancel_every, engine_factory=factory)
             pool_n, pool_c, pool_t = _run_pool(
                 per_phase, pool_size, cancel_every, engine_factory=factory)
+            storm_n, storm_t = _run_volley_storm(
+                per_phase, storm_width, storm_period, engine_factory=factory)
             result = EngineBenchmarkResult(
-                events_executed=chain_n + pool_n,
+                events_executed=chain_n + pool_n + storm_n,
                 cancelled_events=chain_c + pool_c,
-                elapsed_seconds=chain_t + pool_t,
+                elapsed_seconds=chain_t + pool_t + storm_t,
                 chain_events_per_second=chain_n / chain_t if chain_t > 0 else 0.0,
                 pool_events_per_second=pool_n / pool_t if pool_t > 0 else 0.0,
+                storm_events_per_second=storm_n / storm_t if storm_t > 0 else 0.0,
             )
             current = best.get(name)
             if current is None or result.events_per_second > current.events_per_second:

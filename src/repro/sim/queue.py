@@ -1,7 +1,7 @@
 """Pluggable event-queue backends for the simulation engine.
 
 The discrete-event dispatch loop is the hottest code in the
-reproduction, so the storage of pending events is swappable.  Two
+reproduction, so the storage of pending events is swappable.  Three
 backends exist:
 
 ``heap`` (:class:`HeapQueueEngine`)
@@ -20,7 +20,19 @@ backends exist:
     O(1) dict hits, and all events sharing a cycle drain as one batch
     with a single clock write.
 
-Both backends emit the exact same ``(time, seq)`` FIFO order — traces,
+``array`` (:class:`repro.sim.arrayqueue.ArrayQueueEngine`)
+    Columnar storage: parallel integer columns for (time, seq,
+    cancelled) plus flat callback/handle lists, slot recycling through
+    a freelist, and the same calendar-bucket index keyed over the time
+    column.  Dense same-cycle volleys inserted via
+    ``schedule_batch`` occupy contiguous column blocks covered by one
+    batch handle and dispatch straight off the callback column — no
+    per-event allocation at all — which is what clears the >=1.8x gate
+    over ``bucket`` on the dispatch-dominated fig6 storm benchmark.
+    Compaction optionally vectorizes through numpy and degrades to
+    pure python when numpy is absent.
+
+All backends emit the exact same ``(time, seq)`` FIFO order — traces,
 latency CSVs and snapshot digests are byte-identical across backends,
 pinned by ``tests/test_queue_backends.py``.  The default backend is the
 one that measures faster on the interleaved A/B microbenchmark
@@ -36,6 +48,7 @@ import os
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
+from repro.sim.arrayqueue import ArrayQueueEngine
 from repro.sim.engine import COMPACTION_FLOOR, SimulationEngine, SimulationError
 from repro.sim.events import EventHandle
 
@@ -756,4 +769,5 @@ class BucketQueueEngine(SimulationEngine):
 QUEUE_BACKENDS: dict[str, type] = {
     "heap": HeapQueueEngine,
     "bucket": BucketQueueEngine,
+    "array": ArrayQueueEngine,
 }

@@ -1,0 +1,300 @@
+"""Array backend internals: storage recycling and the numpy fallback.
+
+Observable equivalence with the other backends is pinned by
+``tests/test_queue_backends.py`` (the whole suite parametrizes over the
+registry).  What that suite cannot see is the columnar machinery
+itself, which is this file's job:
+
+* slot recycling — steady-state scheduling must reuse freed rows
+  instead of growing the columns;
+* volley-block recycling — equal-width volleys must reuse the same
+  contiguous block, and compaction must fold idle blocks back into the
+  single-slot freelist so capacity is shared across volley widths;
+* cancellation plumbing — handle cancels must land in the cancelled
+  column, batch cancels must account the whole undispatched remainder,
+  and compaction must actually reclaim the dead rows;
+* the numpy-optional contract — with ``arrayqueue._np`` forced to
+  ``None`` (and, in a subprocess, with the numpy import itself
+  blocked) the backend must behave identically.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from array import array
+from pathlib import Path
+
+import pytest
+
+import repro.sim.arrayqueue as arrayqueue
+from repro.sim.arrayqueue import (ArrayBatchHandle, ArrayEventHandle,
+                                  ArrayQueueEngine)
+from repro.sim.engine import COMPACTION_FLOOR, SimulationError
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _capacity(engine: ArrayQueueEngine) -> int:
+    return len(engine._cbs)
+
+
+def _free_slots(engine: ArrayQueueEngine) -> int:
+    blocks = sum(count * len(starts)
+                 for count, starts in engine._free_blocks.items())
+    return len(engine._free) + blocks
+
+
+# ------------------------------------------------------------ recycling
+
+def test_steady_state_chain_recycles_one_slot():
+    """A self-rescheduling chain reuses the slot it just freed."""
+    engine = ArrayQueueEngine()
+    remaining = [500]
+
+    def tick() -> None:
+        if remaining[0]:
+            remaining[0] -= 1
+            engine.schedule(3, tick)
+
+    engine.schedule(1, tick)
+    engine.run()
+    assert engine.events_executed == 501
+    # One live chain event at a time: the columns never grew past the
+    # handful of rows the warmup touched.
+    assert _capacity(engine) <= 4
+
+
+def test_steady_state_volleys_reuse_one_block():
+    """Equal-width volleys recycle the same contiguous block."""
+    engine = ArrayQueueEngine()
+    fired = [0]
+
+    def member() -> None:
+        fired[0] += 1
+
+    volley = [member] * 16
+    remaining = [200]
+
+    def driver() -> None:
+        engine.schedule_batch(0, volley, "storm")
+        if remaining[0]:
+            remaining[0] -= 1
+            engine.schedule(5, driver)
+
+    engine.schedule(1, driver)
+    engine.run()
+    assert fired[0] == 16 * 201
+    # 16 block rows + the driver's slot, not 201 blocks.
+    assert _capacity(engine) <= 20
+    assert engine._free_blocks.get(16) is not None
+
+
+def test_compaction_folds_idle_blocks_into_freelist():
+    """Idle volley blocks become ordinary free slots at compaction."""
+    engine = ArrayQueueEngine()
+    engine.schedule_batch(1, [lambda: None] * 8, "v")
+    engine.run()
+    assert engine._free_blocks.get(8)
+    engine._compact()
+    assert not engine._free_blocks
+    assert len(engine._free) == 8
+    # Reclaimed rows hold no references to dead callbacks.
+    assert all(engine._cbs[slot] is None for slot in engine._free)
+
+
+def test_column_data_exports_typed_arrays():
+    engine = ArrayQueueEngine()
+    engine.schedule(5, lambda: None, "a")
+    engine.schedule_batch(7, [lambda: None] * 3, "b")
+    data = engine.column_data()
+    assert isinstance(data["time"], array) and data["time"].typecode == "q"
+    assert isinstance(data["seq"], array) and data["seq"].typecode == "q"
+    assert isinstance(data["cancelled"], (bytes, bytearray))
+    assert data["capacity"] == 4
+    assert data["free_slots"] == 0
+    assert sorted(data["time"]) == [5, 7, 7, 7]
+    assert sorted(data["seq"]) == [0, 1, 2, 3]
+
+
+# --------------------------------------------------------- cancellation
+
+def test_cancel_writes_cancelled_column_and_compact_reclaims():
+    engine = ArrayQueueEngine()
+    keep = engine.schedule(50, lambda: None, "keep")
+    handles = [engine.schedule(10 + i, lambda: None, "dead")
+               for i in range(COMPACTION_FLOOR + 40)]
+    for handle in handles[:-1]:
+        assert isinstance(handle, ArrayEventHandle)
+        handle.cancel()
+        assert engine._flags[handle._slot] in (0, 1)  # may be compacted
+    # Dead now outnumber pending: the threshold compaction fired.
+    assert engine.compactions >= 1
+    assert engine._dead_hint < COMPACTION_FLOOR
+    assert keep.pending
+    live = [(t, s) for t, s, _ in engine.live_entries()]
+    assert (50, 0) in live
+
+
+def test_batch_cancel_before_dispatch_accounts_whole_volley():
+    engine = ArrayQueueEngine()
+    log: list[int] = []
+    bh = engine.schedule_batch(5, [lambda i=i: log.append(i)
+                                   for i in range(6)], "v")
+    assert isinstance(bh, ArrayBatchHandle)
+    bh.cancel()
+    bh.cancel()  # idempotent
+    assert engine.pending_events == 0
+    assert engine.events_cancelled == 6
+    engine.run()
+    assert log == []
+    assert engine.now == 0  # an all-cancelled bucket never advances time
+    assert not bh.fired and bh.cancelled
+
+
+def test_sentinel_cancel_reaches_cancelled_column():
+    """schedule_stop_at hands out column-wired handles via _make_handle."""
+    engine = ArrayQueueEngine()
+    fired: list[str] = []
+    engine.schedule(10, lambda: fired.append("ev"))
+    sentinel = engine.schedule_stop_at(10)
+    assert isinstance(sentinel, ArrayEventHandle)
+    sentinel.cancel()
+    assert engine._flags[sentinel._slot] == 1
+    engine.run()
+    assert fired == ["ev"]  # the cancelled sentinel did not stop the run
+    assert engine.now == 10
+
+
+def test_insert_into_dispatching_timestamp_refused():
+    engine = ArrayQueueEngine()
+    failures: list[str] = []
+
+    def offender() -> None:
+        try:
+            engine.restore_event(engine.now, 99, lambda: None)
+        except SimulationError:
+            failures.append("refused")
+
+    engine.schedule(5, offender)
+    engine.schedule(5, lambda: None)
+    engine.run()
+    assert failures == ["refused"]
+
+
+# ------------------------------------------------------- numpy fallback
+
+def test_numpy_absent_fallback_is_identical(monkeypatch):
+    """Forcing the pure-python compaction path changes nothing observable."""
+
+    def scenario() -> tuple:
+        engine = ArrayQueueEngine()
+        log: list[tuple] = []
+        dead = [engine.schedule(20 + (i % 7), lambda: None, "dead")
+                for i in range(COMPACTION_FLOOR + 50)]
+        bh = engine.schedule_batch(9, [lambda i=i: log.append(("v", i))
+                                       for i in range(4)], "v")
+        live = engine.schedule(30, lambda: log.append(("live", engine.now)))
+        doomed = engine.schedule_batch(11, [lambda: None] * 5, "doomed")
+        doomed.cancel()
+        for handle in dead:
+            handle.cancel()
+        engine.run()
+        return (tuple(log), engine.activity_fingerprint,
+                engine.now, bh.fired, live.fired)
+
+    with_numpy = scenario() if arrayqueue._np is not None else None
+    monkeypatch.setattr(arrayqueue, "_np", None)
+    without_numpy = scenario()
+    if with_numpy is not None:
+        assert without_numpy == with_numpy
+    assert without_numpy[3] and without_numpy[4]
+
+
+@pytest.mark.parametrize("accelerated", [True, False])
+def test_numpy_accelerated_property(monkeypatch, accelerated):
+    if not accelerated:
+        monkeypatch.setattr(arrayqueue, "_np", None)
+    engine = ArrayQueueEngine()
+    if arrayqueue._np is None:
+        assert engine.numpy_accelerated is False
+    else:
+        assert engine.numpy_accelerated is accelerated
+
+
+def test_import_works_with_numpy_blocked():
+    """The module imports and runs with numpy missing from the host."""
+    code = """
+import sys
+sys.modules["numpy"] = None  # any import attempt raises ImportError
+import importlib
+for name in [m for m in list(sys.modules) if m.startswith("repro")]:
+    del sys.modules[name]
+import repro.sim.arrayqueue as aq
+assert aq._np is None
+from repro.sim.engine import SimulationEngine
+engine = SimulationEngine(backend="array")
+order = []
+for tag in range(4):
+    engine.schedule(10, lambda tag=tag: order.append(tag))
+engine.schedule_batch(10, [lambda: order.append("b0"), lambda: order.append("b1")])
+dead = [engine.schedule(20, lambda: order.append("dead")) for _ in range(200)]
+for h in dead:
+    h.cancel()
+engine.run()
+assert order == [0, 1, 2, 3, "b0", "b1"], order
+assert engine.now == 10
+assert not engine.numpy_accelerated
+print("OK")
+"""
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "OK"
+
+
+# ----------------------------------------------------------- edge paths
+
+def test_mid_volley_stop_keeps_block_tail():
+    engine = ArrayQueueEngine()
+    order: list[int] = []
+
+    def member(i: int):
+        def cb() -> None:
+            order.append(i)
+            if i == 1:
+                engine.stop()
+        return cb
+
+    bh = engine.schedule_batch(5, [member(i) for i in range(5)], "v")
+    engine.run()
+    assert order == [0, 1]
+    assert bh.pending and not bh.fired
+    assert engine.pending_events == 3
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+    assert bh.fired
+
+
+def test_volley_self_cancel_frees_remainder():
+    engine = ArrayQueueEngine()
+    order: list[int] = []
+
+    def member(i: int):
+        def cb() -> None:
+            order.append(i)
+            if i == 2:
+                bh.cancel()
+        return cb
+
+    bh = engine.schedule_batch(5, [member(i) for i in range(6)], "v")
+    engine.run()
+    assert order == [0, 1, 2]
+    assert bh.cancelled and not bh.fired
+    assert engine.pending_events == 0
+    assert engine.events_cancelled == 3
+    # The block went back on the freelist for the next equal-width volley.
+    assert engine._free_blocks.get(6) == [0]

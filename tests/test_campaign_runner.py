@@ -200,6 +200,29 @@ def test_write_bench_json_appends_history(tmp_path):
     assert "engine" not in history["runs"][0]
 
 
+def test_write_bench_json_records_host_and_backend_race(tmp_path):
+    import os
+    import platform
+
+    from repro.sim.benchmark import measure_backend_ab
+    from repro.sim.queue import QUEUE_BACKENDS
+
+    target = tmp_path / "BENCH_experiments.json"
+    ab = measure_backend_ab(events=3_000, repeats=1)
+    write_bench_json(target, scale_name="smoke", jobs=1,
+                     experiment_seconds={"fig6a": 0.1}, engine_ab=ab)
+    run = json.loads(target.read_text())["runs"][0]
+    host = run["host"]
+    assert host["python"] == platform.python_version()
+    assert host["cpu_count"] == os.cpu_count()
+    assert host["platform"]
+    record = run["engine_ab"]
+    assert set(record["storm_events_per_second"]) == \
+        {"legacy", *QUEUE_BACKENDS}
+    assert record["array_dispatch_speedup_vs_bucket"] > 0
+    assert record["winner"] in QUEUE_BACKENDS
+
+
 def test_write_bench_json_survives_corrupt_history(tmp_path):
     target = tmp_path / "BENCH_experiments.json"
     target.write_text("{not json")

@@ -1,20 +1,24 @@
 """Queue-backend equivalence: every backend is observably identical.
 
 The pluggable event-queue backends (:mod:`repro.sim.queue`) promise
-that swapping the ``heap`` and ``bucket`` implementations changes
-*only* wall-clock speed — the ``(time, seq)`` FIFO dispatch order, and
-therefore every downstream artifact, is byte-identical.  These tests
-pin that promise at every layer:
+that swapping implementations changes *only* wall-clock speed — the
+``(time, seq)`` FIFO dispatch order, and therefore every downstream
+artifact, is byte-identical.  Every suite below parametrizes over the
+``QUEUE_BACKENDS`` registry, so a newly registered backend (such as
+the columnar ``array`` engine) is covered with zero test edits.  The
+promise is pinned at every layer:
 
 * engine level — a hypothesis-driven random program (nested schedules,
-  same-cycle reschedules, cancellations, stops, a bounded ``run_until``
+  same-cycle reschedules, ``schedule_batch`` volleys, cancellations of
+  both single events and whole volleys, stops, a bounded ``run_until``
   followed by a full drain) executed on every backend must produce the
   same callback log, clock, counters, batch count, snapshot state and
   surviving entries;
-* scenario level — a full paper scenario run per backend must produce
-  identical latency records, summaries, CSV bytes and trace digests,
-  and world snapshots captured warm or mid-run must digest identically
-  (including capture-on-one-backend / restore-on-the-other forks);
+* scenario level — a full paper scenario run per backend, with
+  idle-skip both on and off, must produce identical latency records,
+  summaries, CSV bytes and trace digests, and world snapshots captured
+  warm or mid-run must digest identically (including
+  capture-on-one-backend / restore-on-the-other forks);
 * resolution — explicit argument beats ``REPRO_QUEUE_BACKEND`` beats
   the default, and unknown names fail loudly;
 * the cold out-of-band insert paths (stop sentinels, snapshot
@@ -38,7 +42,7 @@ from repro.experiments.common import (
     run_irq_scenario_from,
 )
 from repro.metrics.export import write_series_csv
-from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.engine import ENV_IDLE_SKIP, SimulationEngine, SimulationError
 from repro.sim.queue import (
     DEFAULT_QUEUE_BACKEND,
     ENV_QUEUE_BACKEND,
@@ -55,15 +59,22 @@ BACKENDS = sorted(QUEUE_BACKENDS)
 
 # ------------------------------------------------------- engine-level A/B
 
-#: One root op: (delay, reschedules, follow_delay, cancel_pick, stop_pick).
-#: ``follow_delay`` may be 0 — a same-cycle reschedule, the case the
-#: bucket backend's batch drain must order exactly like the heap.
+#: One root op: (delay, reschedules, follow_delay, cancel_pick,
+#: stop_pick, batch_width, batch_cancel_pick).  ``follow_delay`` may be
+#: 0 — a same-cycle reschedule, the case a backend's batch drain must
+#: order exactly like the heap.  ``batch_width`` > 0 lobs a
+#: ``schedule_batch`` volley from inside the callback (width >= 2 takes
+#: the columnar block path on the array backend), and
+#: ``batch_cancel_pick`` cancels a previously scheduled volley — from
+#: inside a draining bucket, possibly the volley's own.
 _OP = st.tuples(
     st.integers(0, 60),
     st.integers(0, 3),
     st.integers(0, 20),
     st.one_of(st.none(), st.integers(0, 255)),
     st.integers(0, 9),
+    st.integers(0, 4),
+    st.one_of(st.none(), st.integers(0, 255)),
 )
 
 
@@ -73,24 +84,46 @@ def _execute_program(backend: str, program, horizon: int) -> dict:
     assert engine.backend_name == backend
     log: list[tuple] = []
     handles: list = []
+    batches: list = []
+
+    def volley_member(tag: int, index: int, stop_mid: bool):
+        def member() -> None:
+            log.append((tag, "v", index, engine.now))
+            if stop_mid and index == 1:
+                # Stop from inside a draining volley: the undispatched
+                # tail must survive suspension and resume on the next
+                # run, identically on the wrapper and block paths.
+                engine.stop()
+        return member
 
     def spawn(tag: int, delay: int, repeats: int, follow_delay: int,
-              cancel_pick, stop: bool) -> None:
+              cancel_pick, stop: bool, batch_width: int,
+              batch_cancel_pick, stop_mid: bool) -> None:
         def callback() -> None:
             log.append((tag, repeats, engine.now))
             if repeats:
                 spawn(tag, follow_delay, repeats - 1, follow_delay,
-                      cancel_pick, stop)
+                      cancel_pick, stop, batch_width, batch_cancel_pick,
+                      stop_mid)
+            if batch_width:
+                batches.append(engine.schedule_batch(
+                    follow_delay,
+                    [volley_member(tag, i, stop_mid)
+                     for i in range(batch_width)]))
             if cancel_pick is not None and handles:
                 handles[cancel_pick % len(handles)].cancel()
+            if batch_cancel_pick is not None and batches:
+                batches[batch_cancel_pick % len(batches)].cancel()
             if stop and not repeats:
                 engine.stop()
 
         handles.append(engine.schedule(delay, callback))
 
-    for tag, (delay, repeats, follow_delay, cancel_pick, stop_pick) in \
-            enumerate(program):
-        spawn(tag, delay, repeats, follow_delay, cancel_pick, stop_pick == 0)
+    for tag, (delay, repeats, follow_delay, cancel_pick, stop_pick,
+              batch_width, batch_cancel_pick) in enumerate(program):
+        spawn(tag, delay, repeats, follow_delay, cancel_pick,
+              stop_pick == 0, batch_width, batch_cancel_pick,
+              stop_pick == 1)
 
     bounded = engine.run_until(horizon)
     mid = (engine.now, engine.events_executed, engine.pending_events,
@@ -104,6 +137,8 @@ def _execute_program(backend: str, program, horizon: int) -> dict:
         "counters": (engine.events_executed, engine.events_scheduled,
                      engine.events_cancelled, engine.pending_events,
                      engine.dispatch_batches),
+        "batch_states": [(bh.count, bh.fired, bh.cancelled, bh.pending)
+                         for bh in batches],
         "snapshot": engine.snapshot_state(),
         "live": [(time, seq) for time, seq, _ in engine.live_entries()],
     }
@@ -228,20 +263,26 @@ def _scenario_setup(seed: int):
     return system, policy, intervals
 
 
-def _with_backend(backend: str, fn):
-    """Run ``fn`` with the engine default forced to ``backend``."""
-    previous = os.environ.get(ENV_QUEUE_BACKEND)
+def _with_backend(backend: str, fn, idle_skip: str | None = None):
+    """Run ``fn`` with the engine default forced to ``backend`` (and,
+    optionally, idle-skip forced on or off)."""
+    saved = {ENV_QUEUE_BACKEND: os.environ.get(ENV_QUEUE_BACKEND)}
     os.environ[ENV_QUEUE_BACKEND] = backend
+    if idle_skip is not None:
+        saved[ENV_IDLE_SKIP] = os.environ.get(ENV_IDLE_SKIP)
+        os.environ[ENV_IDLE_SKIP] = idle_skip
     try:
         return fn()
     finally:
-        if previous is None:
-            del os.environ[ENV_QUEUE_BACKEND]
-        else:
-            os.environ[ENV_QUEUE_BACKEND] = previous
+        for key, previous in saved.items():
+            if previous is None:
+                del os.environ[key]
+            else:
+                os.environ[key] = previous
 
 
-def _scenario_artifacts(backend: str, seed: int, tmp_path) -> dict:
+def _scenario_artifacts(backend: str, seed: int, tmp_path,
+                        idle_skip: str | None = None) -> dict:
     """Everything a scenario run produces, as comparable plain data."""
     system, policy, intervals = _scenario_setup(seed)
 
@@ -250,11 +291,12 @@ def _scenario_artifacts(backend: str, seed: int, tmp_path) -> dict:
         assert result.hypervisor.engine.backend_name == backend
         return result
 
-    result = _with_backend(backend, build_and_run)
+    result = _with_backend(backend, build_and_run, idle_skip)
     csv_path = tmp_path / f"latencies-{backend}.csv"
     write_series_csv(csv_path, result.latencies_us, column="latency_us")
     warm = _with_backend(
-        backend, lambda: build_warm_world(system, policy(), intervals))
+        backend, lambda: build_warm_world(system, policy(), intervals),
+        idle_skip)
 
     def midrun_digest():
         hv, timer = system.build(policy(), intervals)
@@ -272,7 +314,8 @@ def _scenario_artifacts(backend: str, seed: int, tmp_path) -> dict:
         "trace_digest": result.hypervisor.trace.digest(),
         "csv_bytes": csv_path.read_bytes(),
         "warm_snapshot_digest": warm.digest(),
-        "midrun_snapshot_digest": _with_backend(backend, midrun_digest),
+        "midrun_snapshot_digest": _with_backend(backend, midrun_digest,
+                                                idle_skip),
         "engine": (result.hypervisor.engine.now,
                    result.hypervisor.engine.events_executed,
                    result.hypervisor.engine.events_scheduled,
@@ -280,12 +323,15 @@ def _scenario_artifacts(backend: str, seed: int, tmp_path) -> dict:
     }
 
 
-@pytest.mark.parametrize("seed", [1, 23])
-def test_scenario_artifacts_identical_across_backends(tmp_path, seed):
-    """Records, stats, CSV bytes, trace and snapshot digests all match."""
-    reference = _scenario_artifacts(BACKENDS[0], seed, tmp_path)
+@pytest.mark.parametrize("seed, idle_skip", [(1, "1"), (1, "0"), (23, None)])
+def test_scenario_artifacts_identical_across_backends(tmp_path, seed,
+                                                      idle_skip):
+    """Records, stats, CSV bytes, trace and snapshot digests all match —
+    with idle-skip forced on, forced off, and at its default."""
+    reference = _scenario_artifacts(BACKENDS[0], seed, tmp_path, idle_skip)
     for backend in BACKENDS[1:]:
-        assert _scenario_artifacts(backend, seed, tmp_path) == reference
+        assert _scenario_artifacts(backend, seed, tmp_path, idle_skip) == \
+            reference
 
 
 def test_fork_across_backends_is_byte_identical():
