@@ -8,8 +8,9 @@ regressions beyond a threshold (default 20 %), plus regressions in
 every recorded microbenchmark section — engine throughput, the
 queue-backend race (including the array backend's dispatch-storm
 rate and its speedup over bucket), the
-idle-skip and layered-fork A/B races, and the run-artifact store's
-write overhead.  The sections share one table-driven checker
+idle-skip and layered-fork A/B races, the subtree-vs-wave campaign
+scheduling race (throughput, speedup, and retained-memory ratio), and
+the run-artifact store's write overhead.  The sections share one table-driven checker
 (:data:`CHECKS`): each section names the metrics to diff, whether
 higher or lower is better, and how to flag — relative drop beyond the
 threshold, or (for the store overhead, a number expected to hover
@@ -279,6 +280,19 @@ CHECKS: "tuple[CheckSpec, ...]" = (
                        unit="forks/s", flag_text="throughput regression"),
             MetricSpec("layered-fork speedup", ("speedup",), unit="x",
                        flag_text="speedup regression"),
+        ),
+    ),
+    CheckSpec(
+        key="engine_subtree_ab", title="subtree A/B",
+        missing_note="not recorded in both runs "
+                     "(older history predates engine_subtree_ab)",
+        metrics=(
+            MetricSpec("subtree schedule", ("nodes_per_second", "subtree"),
+                       unit="nodes/s", flag_text="throughput regression"),
+            MetricSpec("subtree speedup", ("speedup",), unit="x",
+                       flag_text="speedup regression"),
+            MetricSpec("subtree memory ratio", ("memory_ratio",), unit="x",
+                       flag_text="retained-memory regression"),
         ),
     ),
     CheckSpec(

@@ -26,9 +26,20 @@ order, ``run_campaign(..., jobs=N)`` is **byte-identical** to
 
 Tasks that fork a shared snapshot (fig7 cases, d_min points) declare
 the snapshot task in ``needs`` and receive its result through the
-``feed`` kwarg; the runner executes the list in topological waves
-(:func:`_task_waves`), so dependencies never reach a worker
-unresolved, and the byte-identity contract extends across waves.
+``feed`` kwarg.  Two schedules resolve those dependencies:
+
+* ``wave`` executes the list in topological waves (:func:`_task_waves`)
+  — every forked task re-pickles its parent snapshot across the pool
+  boundary, once per child;
+* ``subtree`` (the default) groups each connected ``needs`` chain into
+  one per-worker assignment (:func:`plan_subtrees`): the worker
+  receives the subtree root once and walks the descendants against the
+  shared layered world store, so intermediate worlds are never
+  re-pickled.  Parent result digests are still folded into cache
+  fingerprints inside the worker, so incremental re-runs stay exact.
+
+Either way dependencies never reach a worker unresolved, and the
+byte-identity contract extends across the whole task list.
 
 Workload generation inside the workers is cheap and deterministic
 (:mod:`repro.workloads` memoizes interarrival arrays and traces), so
@@ -572,6 +583,204 @@ def _run_tasks_cached(
     return results
 
 
+#: Valid ``run_campaign(schedule=...)`` values.
+SCHEDULES = ("subtree", "wave")
+
+
+def plan_subtrees(tasks: "list[CampaignTask]",
+                  include: "Sequence[int] | None" = None,
+                  ) -> "list[list[int]]":
+    """Group task indices into dependency-connected subtrees.
+
+    Every ``needs`` edge joins its two endpoints into the same group;
+    independent tasks become singleton groups.  Each group lists its
+    indices in ascending task-list order — ``needs`` always point to
+    earlier indices, so that order is a valid execution order — and
+    the groups themselves are ordered by their first task, keeping the
+    scatter (and the merges that consume it) deterministic.
+
+    ``include`` restricts planning to a subset of indices (the cache
+    misses of a warm run); edges to excluded tasks are ignored — their
+    results are already resolved and get injected into the subtree.
+    """
+    members = sorted(range(len(tasks)) if include is None else include)
+    member_set = set(members)
+    parent = {index: index for index in members}
+
+    def find(index: int) -> int:
+        root = index
+        while parent[root] != root:
+            root = parent[root]
+        while parent[index] != root:
+            parent[index], index = root, parent[index]
+        return root
+
+    for index in members:
+        for need in tasks[index].needs:
+            if not 0 <= need < index:
+                raise ValueError(
+                    f"subtree scheduling requires dependencies that point "
+                    f"to earlier tasks; task {index} needs {need}")
+            if need in member_set:
+                parent[find(need)] = find(index)
+    groups: "dict[int, list[int]]" = {}
+    for index in members:
+        groups.setdefault(find(index), []).append(index)
+    return sorted(groups.values(), key=lambda group: group[0])
+
+
+def _execute_subtree(item: "tuple") -> "tuple[list, list, Any]":
+    """Pool target running one whole subtree inside a single worker.
+
+    The subtree root's injected parents crossed the process boundary
+    exactly once, in ``item``; every descendant then forks from the
+    *live* result of its parent task — for snapshot chains that means
+    `fork_snapshot`/`fork_warm_variant` against the worker's shared
+    layered store, never a re-pickle of an intermediate world.
+
+    With a cache directory the worker replays hits and stores misses
+    itself (`ResultCache` writes are atomic and concurrent-safe), with
+    parent digests folded into each fingerprint from the *local*
+    results — snapshot-bearing results digest over canonical plain
+    data, so the fingerprints match the wave path's exactly.  Keys the
+    parent already probed (and missed) arrive precomputed in
+    ``known_keys`` so the miss is not double-counted.
+    """
+    (indices, subtree_tasks, injected, injected_digests, known_keys,
+     epoch, cache_dir) = item
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results: "dict[int, Any]" = dict(injected)
+    digests: "dict[int, str]" = dict(injected_digests)
+    meta: "list[tuple[bool, float, float, int]]" = []
+    pid = os.getpid()
+
+    def need_digest(need: int) -> str:
+        if need not in digests:
+            digests[need] = result_digest(results[need])
+        return digests[need]
+
+    for position, index in enumerate(indices):
+        task = subtree_tasks[position]
+        pickup = time.monotonic() - epoch
+        key = None
+        if cache is not None:
+            key = known_keys.get(index)
+            if key is None:
+                parents = tuple(need_digest(need) for need in task.needs)
+                key = task_fingerprint(task, parent_digests=parents)
+                entry = cache.load(key)
+                if entry is not None:
+                    results[index] = entry.result
+                    meta.append((True, pickup, 0.0, pid))
+                    continue
+        run_task = task
+        if task.needs and task.feed is not None:
+            kwargs = dict(task.kwargs)
+            kwargs[task.feed] = results[task.needs[0]]
+            run_task = CampaignTask(task.experiment, task.kind, kwargs)
+        started = time.perf_counter()
+        result = execute_task(run_task)
+        elapsed = time.perf_counter() - started
+        if cache is not None:
+            cache.store(key, task, result, elapsed)
+        results[index] = result
+        meta.append((False, pickup, elapsed, pid))
+    return ([results[index] for index in indices], meta,
+            cache.stats if cache is not None else None)
+
+
+def _merge_cache_stats(into: "Any", delta: "Any") -> None:
+    """Fold a worker cache handle's counters into the parent's."""
+    for name in ("hits", "misses", "stores", "invalidations", "bytes_read",
+                 "bytes_written", "saved_seconds", "computed_seconds"):
+        setattr(into, name, getattr(into, name) + getattr(delta, name))
+
+
+def _run_tasks_subtree(
+    tasks: "list[CampaignTask]", jobs: int,
+    telemetry: "CampaignTelemetry | None" = None,
+    progress: "Callable[[int, int, CampaignTask], None] | None" = None,
+    epoch: "float | None" = None,
+    cache: "ResultCache | None" = None,
+) -> "list":
+    """Execute tasks as per-worker subtree assignments.
+
+    With a cache, the parent first replays every hit it can resolve in
+    dependency order (a fully warm run therefore spawns no pool at
+    all, exactly like the wave path); the remaining misses are grouped
+    into subtrees whose already-resolved parents are injected into the
+    work item.  Each subtree then runs start-to-finish inside one
+    worker, and results scatter back to their campaign indices — so
+    merges consume them in the same fixed order as every other path.
+    """
+    call_started = time.monotonic()
+    base = 0.0 if epoch is None else call_started - epoch
+    total = len(tasks)
+    done = 0
+    results: "list[Any]" = [None] * len(tasks)
+    resolved_digests: "dict[int, str]" = {}
+    known_keys: "dict[int, str]" = {}
+    pending = set(range(len(tasks)))
+    if cache is not None:
+        for index, task in enumerate(tasks):
+            if any(need in pending for need in task.needs):
+                continue        # an ancestor missed; must execute
+            parents = tuple(resolved_digests[need] for need in task.needs)
+            key = task_fingerprint(task, parent_digests=parents)
+            entry = cache.load(key)
+            if entry is None:
+                known_keys[index] = key
+                continue
+            results[index] = entry.result
+            resolved_digests[index] = result_digest(entry.result)
+            pending.discard(index)
+            done += 1
+            _record_task(telemetry, progress, task, index, done, total,
+                         cached=True, wall=0.0, wait=0.0,
+                         offset=base + time.monotonic() - call_started,
+                         pid=os.getpid())
+    if not pending:
+        return results
+    cache_dir = str(cache.directory) if cache is not None else None
+    items = []
+    for indices in plan_subtrees(tasks, include=pending):
+        member_set = set(indices)
+        injected: "dict[int, Any]" = {}
+        injected_digests: "dict[int, str]" = {}
+        for index in indices:
+            for need in tasks[index].needs:
+                if need not in member_set:
+                    injected[need] = results[need]
+                    injected_digests[need] = resolved_digests[need]
+        items.append((indices, [tasks[index] for index in indices],
+                      injected, injected_digests,
+                      {index: known_keys[index] for index in indices
+                       if index in known_keys},
+                      call_started, cache_dir))
+
+    def consume(outcome_iter: "Any") -> None:
+        nonlocal done
+        for item, (sub_results, meta, stats_delta) in zip(items,
+                                                          outcome_iter):
+            indices = item[0]
+            for position, index in enumerate(indices):
+                results[index] = sub_results[position]
+                cached, pickup, elapsed, pid = meta[position]
+                done += 1
+                _record_task(telemetry, progress, tasks[index], index,
+                             done, total, cached=cached, wall=elapsed,
+                             wait=pickup, offset=base + pickup, pid=pid)
+            if cache is not None and stats_delta is not None:
+                _merge_cache_stats(cache.stats, stats_delta)
+
+    if jobs <= 1 or len(items) <= 1:
+        consume(map(_execute_subtree, items))
+    else:
+        with _pool_context().Pool(min(jobs, len(items))) as pool:
+            consume(pool.imap(_execute_subtree, items, chunksize=1))
+    return results
+
+
 def run_campaign(names: Sequence[str], scale: ExperimentScale,
                  seed: int = 1, jobs: "int | None" = None,
                  cache: "ResultCache | None" = None,
@@ -580,6 +789,7 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
                  = None,
                  shared_prefix: bool = True,
                  store: "Any | None" = None,
+                 schedule: str = "subtree",
                  ) -> "dict[str, Any]":
     """Run the selected experiment campaigns, optionally in parallel.
 
@@ -607,6 +817,13 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
     prefix straight-line.  Both settings merge to byte-identical
     results.
 
+    ``schedule`` picks how dependencies are resolved: ``"subtree"``
+    (the default) assigns each connected ``needs`` chain to one worker
+    so parent snapshots cross the pool boundary once and descendants
+    fork from live results against the shared world store;
+    ``"wave"`` is the topological-wave path that re-ships the parent
+    to every child.  Results are byte-identical across schedules.
+
     ``store`` is any object exposing ``write_task(task, result,
     index)`` — in practice a
     :class:`repro.store.capture.CampaignStoreWriter` — called once per
@@ -626,7 +843,13 @@ def run_campaign(names: Sequence[str], scale: ExperimentScale,
         if telemetry.epoch is None:
             telemetry.epoch = started
         epoch = telemetry.epoch
-    if cache is None:
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r} "
+                         f"(valid values: {', '.join(SCHEDULES)})")
+    if schedule == "subtree":
+        results = _run_tasks_subtree(tasks, jobs, telemetry, progress,
+                                     epoch, cache)
+    elif cache is None:
         if telemetry is not None or progress is not None:
             results = _run_tasks_instrumented(tasks, jobs, telemetry,
                                               progress, epoch)
@@ -655,6 +878,7 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
                      engine_ab: "Any | None" = None,
                      engine_idle_ab: "Any | None" = None,
                      engine_fork_ab: "Any | None" = None,
+                     engine_subtree_ab: "Any | None" = None,
                      analysis: "Any | None" = None,
                      cache: "Any | None" = None,
                      telemetry: "CampaignTelemetry | None" = None,
@@ -680,6 +904,11 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
     (``engine_fork_ab``: a
     :class:`~repro.sim.benchmark.ForkABResult` — layered vs full-copy
     forks/s, speedup, retained bytes per leg and their ratio),
+    the scheduling race on a ~1k-branch tree (``engine_subtree_ab``: a
+    :class:`~repro.sim.benchmark.SubtreeABResult` — wave-deep
+    re-pickling vs subtree walking against a spill-budgeted store,
+    end-to-end speedup, per-leg peak retained bytes and the
+    unlimited-vs-budgeted memory ratio),
     the run-artifact store's write-overhead race (``store_ab``: a
     :class:`~repro.store.benchmark.StoreABResult` — campaign wall time
     with vs without per-task artifact capture, plus the capture
@@ -775,6 +1004,28 @@ def write_bench_json(path: "str | os.PathLike[str]", *,
             "retained_bytes": {
                 name: result.retained_bytes
                 for name, result in sorted(engine_fork_ab.results.items())
+            },
+        }
+    if engine_subtree_ab is not None:
+        record["engine_subtree_ab"] = {
+            "speedup": round(engine_subtree_ab.speedup, 2),
+            "memory_ratio": round(engine_subtree_ab.memory_ratio, 2),
+            "branches": engine_subtree_ab.branches,
+            "nodes": engine_subtree_ab.nodes,
+            "leaf_digest": engine_subtree_ab.leaf_digest,
+            "budget_bytes": engine_subtree_ab.budget_bytes,
+            "unlimited_peak_bytes": engine_subtree_ab.unlimited_peak_bytes,
+            "spilled_fragments": engine_subtree_ab.spilled_fragments,
+            "spill_bytes_written": engine_subtree_ab.spill_bytes_written,
+            "nodes_per_second": {
+                name: round(result.nodes_per_second, 1)
+                for name, result in sorted(
+                    engine_subtree_ab.results.items())
+            },
+            "peak_retained_bytes": {
+                name: result.peak_retained_bytes
+                for name, result in sorted(
+                    engine_subtree_ab.results.items())
             },
         }
     if store_ab is not None:

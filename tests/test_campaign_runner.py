@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     execute_task,
     plan_campaign,
     plan_experiment,
+    plan_subtrees,
     run_campaign,
     write_bench_json,
 )
@@ -97,6 +98,87 @@ def test_run_campaign_serial_equals_parallel_results():
             == parallel["validation"].classic_measured_max_us)
     assert (serial["validation"].interposed_result.latencies_us
             == parallel["validation"].interposed_result.latencies_us)
+
+
+# ------------------------------------------------------------ subtrees
+
+def _chain_task(experiment, kind, needs=(), feed=None):
+    return CampaignTask(experiment, kind, {}, needs=tuple(needs), feed=feed)
+
+
+def test_plan_subtrees_groups_dependency_chains():
+    tasks = [
+        _chain_task("a", "root"),                       # 0: chain head
+        _chain_task("a", "child", needs=(0,), feed="snapshot"),   # 1
+        _chain_task("b", "solo"),                       # 2: independent
+        _chain_task("a", "grand", needs=(1,), feed="snapshot"),   # 3
+        _chain_task("c", "root"),                       # 4: chain head
+        _chain_task("c", "child", needs=(4,), feed="snapshot"),   # 5
+    ]
+    assert plan_subtrees(tasks) == [[0, 1, 3], [2], [4, 5]]
+    # include narrows the members but keeps chains together.
+    assert plan_subtrees(tasks, include=[1, 3, 2]) == [[1, 3], [2]]
+
+
+def test_plan_subtrees_rejects_forward_dependencies():
+    tasks = [
+        _chain_task("a", "child", needs=(1,), feed="snapshot"),
+        _chain_task("a", "root"),
+    ]
+    with pytest.raises(ValueError, match="earlier tasks"):
+        plan_subtrees(tasks)
+
+
+def test_run_campaign_rejects_unknown_schedule():
+    with pytest.raises(ValueError, match="unknown schedule"):
+        run_campaign(("design",), SMOKE, seed=1, jobs=1, schedule="bfs")
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_subtree_schedule_equals_wave_schedule(jobs):
+    """The tentpole property: schedules differ only in speed.
+
+    fig7 and sweep both carry ``needs/feed`` chains (the learning
+    prefix and the d_min warmup), so this exercises real forked
+    subtrees, serial and across a pool.
+    """
+    wave = run_campaign(("validation",), SMOKE, seed=1, jobs=jobs,
+                        schedule="wave")
+    subtree = run_campaign(("validation",), SMOKE, seed=1, jobs=jobs,
+                           schedule="subtree")
+    assert (wave["validation"].interposed_result.latencies_us
+            == subtree["validation"].interposed_result.latencies_us)
+
+    wave = run_campaign(("fig7", "sweep"), SMOKE, seed=1, jobs=jobs,
+                        schedule="wave")
+    subtree = run_campaign(("fig7", "sweep"), SMOKE, seed=1, jobs=jobs,
+                           schedule="subtree")
+    assert set(wave["fig7"]) == set(subtree["fig7"])
+    for case in wave["fig7"]:
+        assert (wave["fig7"][case].series_us
+                == subtree["fig7"][case].series_us)
+        assert (wave["fig7"][case].learned_table
+                == subtree["fig7"][case].learned_table)
+    assert wave["sweep"] == subtree["sweep"]
+
+
+def test_subtree_schedule_reuses_wave_cache(tmp_path):
+    """Cache fingerprints are schedule-independent: a cache written by
+    the wave path is fully warm for the subtree path (parent digests
+    fold in identically on both sides)."""
+    from repro.experiments.cache import ResultCache
+
+    cache_dir = tmp_path / "cache"
+    cold = ResultCache(cache_dir)
+    run_campaign(("fig7",), SMOKE, seed=1, jobs=1, cache=cold,
+                 schedule="wave")
+    assert cold.stats.misses > 0 and cold.stats.hits == 0
+
+    warm = ResultCache(cache_dir)
+    run_campaign(("fig7",), SMOKE, seed=1, jobs=2, cache=warm,
+                 schedule="subtree")
+    assert warm.stats.misses == 0
+    assert warm.stats.hits == cold.stats.misses
 
 
 # ----------------------------------------------------------------- CLI

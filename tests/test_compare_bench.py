@@ -2,10 +2,12 @@
 
 ``benchmarks/compare_bench.py`` diffs the last two records of a
 ``BENCH_experiments.json``.  These tests pin the behaviour of the
-``engine_ab`` check added with the array backend: a drop in the array
+``engine_ab`` check added with the array backend — a drop in the array
 backend's dispatch-storm rate (or its speedup over bucket) is flagged,
 while history written before those fields existed is skipped with a
-note instead of misreported.
+note instead of misreported — and the ``engine_subtree_ab`` check
+added with subtree scheduling (throughput, speedup, and
+retained-memory-ratio regressions).
 """
 
 from __future__ import annotations
@@ -95,6 +97,72 @@ def test_history_missing_section_skips_with_note():
         _run(None), _run(_engine_ab(3_300_000.0, 2.75)), threshold=0.20)
     assert not regressed
     assert "predates engine_ab" in lines[0]
+
+
+def _subtree_ab(nodes_per_second: float, speedup: float,
+                memory_ratio: float) -> dict:
+    return {
+        "speedup": speedup,
+        "memory_ratio": memory_ratio,
+        "branches": 1000,
+        "nodes": 1111,
+        "leaf_digest": "0" * 16,
+        "budget_bytes": 1_048_576,
+        "unlimited_peak_bytes": 4_000_000,
+        "spilled_fragments": 999,
+        "spill_bytes_written": 480_000,
+        "nodes_per_second": {"wave": nodes_per_second / speedup,
+                             "subtree": nodes_per_second},
+        "peak_retained_bytes": {"wave": 27_000_000, "subtree": 2_500_000,
+                                "unlimited": 4_000_000},
+    }
+
+
+def _subtree_run(subtree_ab: "dict | None") -> dict:
+    record = {"scale": "smoke", "jobs": 1,
+              "experiment_wall_seconds": {"fig6a": 1.0}}
+    if subtree_ab is not None:
+        record["engine_subtree_ab"] = subtree_ab
+    return record
+
+
+def _subtree_ab_check() -> "compare_bench.CheckSpec":
+    return next(check for check in compare_bench.CHECKS
+                if check.key == "engine_subtree_ab")
+
+
+def test_subtree_drop_is_flagged():
+    check = _subtree_ab_check()
+    lines, regressed = check.run(
+        _subtree_run(_subtree_ab(140.0, 5.2, 10.8)),
+        _subtree_run(_subtree_ab(60.0, 1.4, 2.0)),
+        threshold=0.20,
+    )
+    assert regressed
+    assert any("throughput regression" in line for line in lines)
+    assert any("speedup regression" in line for line in lines)
+    assert any("retained-memory regression" in line for line in lines)
+
+
+def test_subtree_steady_passes():
+    check = _subtree_ab_check()
+    lines, regressed = check.run(
+        _subtree_run(_subtree_ab(140.0, 5.2, 10.8)),
+        _subtree_run(_subtree_ab(135.0, 5.0, 10.1)),
+        threshold=0.20,
+    )
+    assert not regressed
+    assert any("subtree schedule" in line for line in lines)
+    assert any("subtree memory ratio" in line for line in lines)
+
+
+def test_history_predating_subtree_ab_skips_with_note():
+    check = _subtree_ab_check()
+    lines, regressed = check.run(
+        _subtree_run(None), _subtree_run(_subtree_ab(140.0, 5.2, 10.8)),
+        threshold=0.20)
+    assert not regressed
+    assert "predates engine_subtree_ab" in lines[0]
 
 
 def test_full_diff_reports_array_fields(tmp_path, capsys):
